@@ -1,0 +1,358 @@
+// Benchmarks reproducing the evaluation of Attiya et al. (PPoPP 2022),
+// one testing.B entry point per figure panel. Figures 3a-3f use the
+// read-intensive mix (70% Find), Figures 4a-4f the update-intensive mix
+// (30% Find); Figures 5 and 6 measure the per-category persistence cost of
+// Tracking and Capsules-Opt. Custom metrics report the persistence counters
+// the corresponding panel plots (pwbs/op, psyncs/op, category counts).
+//
+// Thread counts default to 4 (the sweep lives in cmd/benchrunner, which
+// regenerates the full series of every panel).
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+const benchThreads = 4
+
+func runPanel(b *testing.B, cfg bench.Config) {
+	b.Helper()
+	cfg.Threads = benchThreads
+	cfg.PoolWords = 1 << 24
+	cfg.Seed = 42
+	r, err := bench.Prepare(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	r.RunOps(b.N)
+	b.StopTimer()
+	st := r.Stats()
+	b.ReportMetric(float64(st.PWBs)/float64(b.N), "pwbs/op")
+	b.ReportMetric(float64(st.PSyncs+st.PFences)/float64(b.N), "psyncs/op")
+}
+
+// Figures 3a / 4a: throughput of every evaluated implementation.
+
+func BenchmarkFig3a_Tracking(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoTracking, Workload: bench.ReadIntensive()})
+}
+
+func BenchmarkFig3a_Capsules(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoCapsules, Workload: bench.ReadIntensive()})
+}
+
+func BenchmarkFig3a_CapsulesOpt(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoCapsulesOpt, Workload: bench.ReadIntensive()})
+}
+
+func BenchmarkFig3a_Romulus(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoRomulus, Workload: bench.ReadIntensive()})
+}
+
+func BenchmarkFig3a_RedoOpt(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoRedoOpt, Workload: bench.ReadIntensive()})
+}
+
+func BenchmarkFig4a_Tracking(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoTracking, Workload: bench.UpdateIntensive()})
+}
+
+func BenchmarkFig4a_Capsules(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoCapsules, Workload: bench.UpdateIntensive()})
+}
+
+func BenchmarkFig4a_CapsulesOpt(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoCapsulesOpt, Workload: bench.UpdateIntensive()})
+}
+
+func BenchmarkFig4a_Romulus(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoRomulus, Workload: bench.UpdateIntensive()})
+}
+
+func BenchmarkFig4a_RedoOpt(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoRedoOpt, Workload: bench.UpdateIntensive()})
+}
+
+// Figures 3b / 4b: psync counts (the psyncs/op metric; pfences are
+// implemented with psync, as on the paper's machine).
+
+func BenchmarkFig3b_Tracking(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoTracking, Workload: bench.ReadIntensive()})
+}
+
+func BenchmarkFig3b_CapsulesOpt(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoCapsulesOpt, Workload: bench.ReadIntensive()})
+}
+
+func BenchmarkFig4b_Tracking(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoTracking, Workload: bench.UpdateIntensive()})
+}
+
+func BenchmarkFig4b_CapsulesOpt(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoCapsulesOpt, Workload: bench.UpdateIntensive()})
+}
+
+// Figures 3c / 4c: throughput with psync instructions removed.
+
+func BenchmarkFig3c_TrackingNoPsync(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoTracking, Workload: bench.ReadIntensive(), DisablePsync: true})
+}
+
+func BenchmarkFig3c_CapsulesOptNoPsync(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoCapsulesOpt, Workload: bench.ReadIntensive(), DisablePsync: true})
+}
+
+func BenchmarkFig4c_TrackingNoPsync(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoTracking, Workload: bench.UpdateIntensive(), DisablePsync: true})
+}
+
+func BenchmarkFig4c_CapsulesOptNoPsync(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoCapsulesOpt, Workload: bench.UpdateIntensive(), DisablePsync: true})
+}
+
+// Figures 3d / 4d: pwb counts (the pwbs/op metric of the same runs).
+
+func BenchmarkFig3d_Tracking(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoTracking, Workload: bench.ReadIntensive()})
+}
+
+func BenchmarkFig3d_CapsulesOpt(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoCapsulesOpt, Workload: bench.ReadIntensive()})
+}
+
+func BenchmarkFig4d_Tracking(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoTracking, Workload: bench.UpdateIntensive()})
+}
+
+func BenchmarkFig4d_CapsulesOpt(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoCapsulesOpt, Workload: bench.UpdateIntensive()})
+}
+
+// Category-dependent panels (3e/3f, 4e/4f, 5, 6) need the L/M/H
+// classification of each algorithm's pwb code lines; it is computed once
+// per (algorithm, workload) outside the timed region.
+
+type catKey struct {
+	algo bench.Algo
+	find int
+}
+
+var (
+	catMu    sync.Mutex
+	catCache = map[catKey][]bench.SiteImpact{}
+)
+
+func categories(b *testing.B, algo bench.Algo, w bench.Workload) []bench.SiteImpact {
+	b.Helper()
+	catMu.Lock()
+	defer catMu.Unlock()
+	k := catKey{algo, w.FindPct}
+	if c, ok := catCache[k]; ok {
+		return c
+	}
+	impacts, err := bench.CategorizeSites(algo, w, bench.Options{
+		Threads: []int{benchThreads}, Duration: 150e6, CategorizeThreads: benchThreads, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	catCache[k] = impacts
+	return impacts
+}
+
+func labelsOf(impacts []bench.SiteImpact, cats ...bench.Category) []string {
+	want := map[bench.Category]bool{}
+	for _, c := range cats {
+		want[c] = true
+	}
+	var out []string
+	for _, im := range impacts {
+		if want[im.Category] {
+			out = append(out, im.Label)
+		}
+	}
+	return out
+}
+
+// runCategorized reports per-category pwb counts (Figures 3e/4e).
+func runCategorized(b *testing.B, algo bench.Algo, w bench.Workload) {
+	b.Helper()
+	impacts := categories(b, algo, w)
+	cfg := bench.Config{Algo: algo, Workload: w, Threads: benchThreads, PoolWords: 1 << 24, Seed: 42}
+	r, err := bench.Prepare(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	r.RunOps(b.N)
+	b.StopTimer()
+	st := r.Stats()
+	for _, cat := range []bench.Category{bench.Low, bench.Medium, bench.High} {
+		var n uint64
+		for _, l := range labelsOf(impacts, cat) {
+			n += st.PWBsBySite[l]
+		}
+		b.ReportMetric(float64(n)/float64(b.N), cat.String()+"pwbs/op")
+	}
+}
+
+func BenchmarkFig3e_Tracking(b *testing.B) {
+	runCategorized(b, bench.AlgoTracking, bench.ReadIntensive())
+}
+
+func BenchmarkFig3e_CapsulesOpt(b *testing.B) {
+	runCategorized(b, bench.AlgoCapsulesOpt, bench.ReadIntensive())
+}
+
+func BenchmarkFig4e_Tracking(b *testing.B) {
+	runCategorized(b, bench.AlgoTracking, bench.UpdateIntensive())
+}
+
+func BenchmarkFig4e_CapsulesOpt(b *testing.B) {
+	runCategorized(b, bench.AlgoCapsulesOpt, bench.UpdateIntensive())
+}
+
+// runRemoval measures throughput with pwb categories cumulatively removed
+// (Figures 3f/4f).
+func runRemoval(b *testing.B, algo bench.Algo, w bench.Workload, cats ...bench.Category) {
+	b.Helper()
+	var drop []string
+	if len(cats) > 0 {
+		drop = labelsOf(categories(b, algo, w), cats...)
+	}
+	runPanel(b, bench.Config{Algo: algo, Workload: w, DisabledSites: drop})
+}
+
+func BenchmarkFig3f_Tracking_Full(b *testing.B) {
+	runRemoval(b, bench.AlgoTracking, bench.ReadIntensive())
+}
+
+func BenchmarkFig3f_Tracking_NoL(b *testing.B) {
+	runRemoval(b, bench.AlgoTracking, bench.ReadIntensive(), bench.Low)
+}
+
+func BenchmarkFig3f_Tracking_NoLM(b *testing.B) {
+	runRemoval(b, bench.AlgoTracking, bench.ReadIntensive(), bench.Low, bench.Medium)
+}
+
+func BenchmarkFig3f_Tracking_NoPWBs(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoTracking, Workload: bench.ReadIntensive(), DisableAllPWBs: true})
+}
+
+func BenchmarkFig3f_CapsulesOpt_Full(b *testing.B) {
+	runRemoval(b, bench.AlgoCapsulesOpt, bench.ReadIntensive())
+}
+
+func BenchmarkFig3f_CapsulesOpt_NoL(b *testing.B) {
+	runRemoval(b, bench.AlgoCapsulesOpt, bench.ReadIntensive(), bench.Low)
+}
+
+func BenchmarkFig3f_CapsulesOpt_NoLM(b *testing.B) {
+	runRemoval(b, bench.AlgoCapsulesOpt, bench.ReadIntensive(), bench.Low, bench.Medium)
+}
+
+func BenchmarkFig3f_CapsulesOpt_NoPWBs(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoCapsulesOpt, Workload: bench.ReadIntensive(), DisableAllPWBs: true})
+}
+
+func BenchmarkFig4f_Tracking_Full(b *testing.B) {
+	runRemoval(b, bench.AlgoTracking, bench.UpdateIntensive())
+}
+
+func BenchmarkFig4f_Tracking_NoL(b *testing.B) {
+	runRemoval(b, bench.AlgoTracking, bench.UpdateIntensive(), bench.Low)
+}
+
+func BenchmarkFig4f_Tracking_NoLM(b *testing.B) {
+	runRemoval(b, bench.AlgoTracking, bench.UpdateIntensive(), bench.Low, bench.Medium)
+}
+
+func BenchmarkFig4f_Tracking_NoPWBs(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoTracking, Workload: bench.UpdateIntensive(), DisableAllPWBs: true})
+}
+
+func BenchmarkFig4f_CapsulesOpt_Full(b *testing.B) {
+	runRemoval(b, bench.AlgoCapsulesOpt, bench.UpdateIntensive())
+}
+
+func BenchmarkFig4f_CapsulesOpt_NoL(b *testing.B) {
+	runRemoval(b, bench.AlgoCapsulesOpt, bench.UpdateIntensive(), bench.Low)
+}
+
+func BenchmarkFig4f_CapsulesOpt_NoLM(b *testing.B) {
+	runRemoval(b, bench.AlgoCapsulesOpt, bench.UpdateIntensive(), bench.Low, bench.Medium)
+}
+
+func BenchmarkFig4f_CapsulesOpt_NoPWBs(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoCapsulesOpt, Workload: bench.UpdateIntensive(), DisableAllPWBs: true})
+}
+
+// runAddition measures the persistence-free version plus only one category
+// of pwb code lines (Figures 5/6). An empty category degenerates to the
+// persistence-free configuration.
+func runAddition(b *testing.B, algo bench.Algo, w bench.Workload, cat bench.Category) {
+	b.Helper()
+	only := labelsOf(categories(b, algo, w), cat)
+	cfg := bench.Config{Algo: algo, Workload: w, OnlySites: only, DisablePsync: true}
+	if len(only) == 0 {
+		cfg.OnlySites = nil
+		cfg.DisableAllPWBs = true
+	}
+	runPanel(b, cfg)
+}
+
+func BenchmarkFig5_Tracking_PersistenceFree(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoTracking, Workload: bench.UpdateIntensive(),
+		DisableAllPWBs: true, DisablePsync: true})
+}
+
+func BenchmarkFig5_Tracking_OnlyL(b *testing.B) {
+	runAddition(b, bench.AlgoTracking, bench.UpdateIntensive(), bench.Low)
+}
+
+func BenchmarkFig5_Tracking_OnlyM(b *testing.B) {
+	runAddition(b, bench.AlgoTracking, bench.UpdateIntensive(), bench.Medium)
+}
+
+func BenchmarkFig5_Tracking_OnlyH(b *testing.B) {
+	runAddition(b, bench.AlgoTracking, bench.UpdateIntensive(), bench.High)
+}
+
+func BenchmarkFig5_Tracking_Full(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoTracking, Workload: bench.UpdateIntensive()})
+}
+
+func BenchmarkFig6_CapsulesOpt_PersistenceFree(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoCapsulesOpt, Workload: bench.UpdateIntensive(),
+		DisableAllPWBs: true, DisablePsync: true})
+}
+
+func BenchmarkFig6_CapsulesOpt_OnlyL(b *testing.B) {
+	runAddition(b, bench.AlgoCapsulesOpt, bench.UpdateIntensive(), bench.Low)
+}
+
+func BenchmarkFig6_CapsulesOpt_OnlyM(b *testing.B) {
+	runAddition(b, bench.AlgoCapsulesOpt, bench.UpdateIntensive(), bench.Medium)
+}
+
+func BenchmarkFig6_CapsulesOpt_OnlyH(b *testing.B) {
+	runAddition(b, bench.AlgoCapsulesOpt, bench.UpdateIntensive(), bench.High)
+}
+
+func BenchmarkFig6_CapsulesOpt_Full(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoCapsulesOpt, Workload: bench.UpdateIntensive()})
+}
+
+// Companion baselines: the volatile Harris list and the Tracking BST.
+
+func BenchmarkBaseline_Harris(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoHarris, Workload: bench.UpdateIntensive()})
+}
+
+func BenchmarkBaseline_TrackingBST(b *testing.B) {
+	runPanel(b, bench.Config{Algo: bench.AlgoTrackingBST, Workload: bench.UpdateIntensive()})
+}

@@ -1,0 +1,68 @@
+// Command benchrunner regenerates the evaluation figures of Attiya et al.
+// (PPoPP 2022) on the simulated-NVMM substrate. Each figure panel prints as
+// a CSV-like table: series name, thread count, value.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "figure id (fig3a..fig4f, fig5, fig6) or 'all'")
+		threads    = flag.String("threads", "1,2,4,8", "comma-separated thread counts")
+		duration   = flag.Duration("duration", 500*time.Millisecond, "measurement time per data point")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		list       = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.FigureIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *experiment == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchrunner -experiment fig3a [-threads 1,2,4] [-duration 500ms]")
+		os.Exit(2)
+	}
+
+	var ths []int
+	for _, part := range strings.Split(*threads, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "bad thread count %q\n", part)
+			os.Exit(2)
+		}
+		ths = append(ths, n)
+	}
+	opts := bench.Options{Threads: ths, Duration: *duration, Seed: *seed}
+
+	ids := []string{*experiment}
+	if *experiment == "all" {
+		ids = bench.FigureIDs()
+	}
+	for _, id := range ids {
+		fmt.Printf("# %s\n", id)
+		series, err := bench.Figure(id, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("series,threads,value")
+		for _, s := range series {
+			for _, p := range s.Points {
+				fmt.Printf("%s,%d,%.1f\n", s.Name, p.Threads, p.Value)
+			}
+		}
+		fmt.Println()
+	}
+}

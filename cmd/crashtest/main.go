@@ -1,0 +1,263 @@
+// Command crashtest runs randomized crash-recovery validation of the
+// detectably recoverable structures: concurrent workloads on a strict-mode
+// simulated NVMM pool, system-wide crashes injected at random
+// persistent-memory accesses, recovery via each operation's recovery
+// function, and an exactly-once audit of every response.
+//
+//	crashtest -structure list -threads 4 -ops 100 -crashes 8 -rounds 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/capsules"
+	"repro/internal/chaos"
+	"repro/internal/pmem"
+	"repro/internal/rbst"
+	"repro/internal/rlist"
+)
+
+func main() {
+	var (
+		structure = flag.String("structure", "list", "structure under test: list | bst | capsules | capsules-opt")
+		threads   = flag.Int("threads", 4, "worker threads")
+		ops       = flag.Int("ops", 80, "operations per thread per round")
+		crashes   = flag.Int("crashes", 6, "crashes injected per round")
+		rounds    = flag.Int("rounds", 10, "independent rounds (seeds)")
+		seed      = flag.Int64("seed", 1, "base seed")
+		keyRange  = flag.Int64("keys", 16, "key range [1,k]")
+		mean      = flag.Int("mean-accesses", 800, "mean pool accesses between crashes")
+	)
+	flag.Parse()
+
+	totalCrashes := 0
+	for r := 0; r < *rounds; r++ {
+		s := *seed + int64(r)
+		n, err := runRound(*structure, s, *threads, *ops, *crashes, *keyRange, *mean)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL seed %d: %v\n", s, err)
+			os.Exit(1)
+		}
+		totalCrashes += n
+		fmt.Printf("round %2d (seed %d): ok, %d crashes survived\n", r, s, n)
+	}
+	fmt.Printf("PASS: %d rounds, %d crashes, every operation resolved exactly once\n",
+		*rounds, totalCrashes)
+}
+
+// setThread adapts any of the set structures to the chaos harness.
+type setThread struct {
+	invoke  func()
+	run     func(kind int, key int64) bool
+	recover func(kind int, key int64) bool
+}
+
+func (s setThread) Invoke() { s.invoke() }
+
+func (s setThread) Run(op chaos.Op) uint64 { return b2u(s.run(op.Kind, op.Key)) }
+
+func (s setThread) Recover(op chaos.Op) uint64 { return b2u(s.recover(op.Kind, op.Key)) }
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func runRound(structure string, seed int64, threads, ops, crashes int, keyRange int64, mean int) (int, error) {
+	pool := pmem.New(pmem.Config{
+		Mode:          pmem.ModeStrict,
+		CapacityWords: 1 << 22,
+		MaxThreads:    threads + 2,
+	})
+
+	var reattach func(pool *pmem.Pool) (chaos.ThreadFactory, error)
+	var finalKeys func() ([]int64, error)
+
+	switch structure {
+	case "list":
+		rlist.New(pool, threads+2, 0)
+		reattach = func(pool *pmem.Pool) (chaos.ThreadFactory, error) {
+			l, err := rlist.Attach(pool, 0)
+			if err != nil {
+				return nil, err
+			}
+			return func(tid int) (chaos.Thread, error) {
+				h := l.Handle(pool.NewThread(tid))
+				return setThread{
+					invoke: h.Invoke,
+					run: func(k int, key int64) bool {
+						switch k {
+						case 0:
+							return h.Insert(key)
+						case 1:
+							return h.Delete(key)
+						default:
+							return h.Find(key)
+						}
+					},
+					recover: func(k int, key int64) bool {
+						switch k {
+						case 0:
+							return h.RecoverInsert(key)
+						case 1:
+							return h.RecoverDelete(key)
+						default:
+							return h.RecoverFind(key)
+						}
+					},
+				}, nil
+			}, nil
+		}
+		finalKeys = func() ([]int64, error) {
+			l, err := rlist.Attach(pool, 0)
+			if err != nil {
+				return nil, err
+			}
+			boot := pool.NewThread(0)
+			if err := l.CheckInvariants(boot, true); err != nil {
+				return nil, err
+			}
+			return l.Keys(boot), nil
+		}
+	case "bst":
+		rbst.New(pool, threads+2, 0)
+		reattach = func(pool *pmem.Pool) (chaos.ThreadFactory, error) {
+			tr, err := rbst.Attach(pool, 0)
+			if err != nil {
+				return nil, err
+			}
+			return func(tid int) (chaos.Thread, error) {
+				h := tr.Handle(pool.NewThread(tid))
+				return setThread{
+					invoke: h.Invoke,
+					run: func(k int, key int64) bool {
+						switch k {
+						case 0:
+							return h.Insert(key)
+						case 1:
+							return h.Delete(key)
+						default:
+							return h.Find(key)
+						}
+					},
+					recover: func(k int, key int64) bool {
+						switch k {
+						case 0:
+							return h.RecoverInsert(key)
+						case 1:
+							return h.RecoverDelete(key)
+						default:
+							return h.RecoverFind(key)
+						}
+					},
+				}, nil
+			}, nil
+		}
+		finalKeys = func() ([]int64, error) {
+			tr, err := rbst.Attach(pool, 0)
+			if err != nil {
+				return nil, err
+			}
+			boot := pool.NewThread(0)
+			if err := tr.CheckInvariants(boot, true); err != nil {
+				return nil, err
+			}
+			return tr.Keys(boot), nil
+		}
+	case "capsules", "capsules-opt":
+		variant := capsules.VariantFull
+		if structure == "capsules-opt" {
+			variant = capsules.VariantOpt
+		}
+		capsules.New(pool, variant, threads+2, 0)
+		reattach = func(pool *pmem.Pool) (chaos.ThreadFactory, error) {
+			l, err := capsules.Attach(pool, variant, 0)
+			if err != nil {
+				return nil, err
+			}
+			return func(tid int) (chaos.Thread, error) {
+				h := l.Handle(pool.NewThread(tid))
+				return setThread{
+					invoke: h.Invoke,
+					run: func(k int, key int64) bool {
+						switch k {
+						case 0:
+							return h.Insert(key)
+						case 1:
+							return h.Delete(key)
+						default:
+							return h.Find(key)
+						}
+					},
+					recover: func(k int, key int64) bool {
+						switch k {
+						case 0:
+							return h.RecoverInsert(key)
+						case 1:
+							return h.RecoverDelete(key)
+						default:
+							return h.RecoverFind(key)
+						}
+					},
+				}, nil
+			}, nil
+		}
+		finalKeys = func() ([]int64, error) {
+			l, err := capsules.Attach(pool, variant, 0)
+			if err != nil {
+				return nil, err
+			}
+			boot := pool.NewThread(0)
+			if err := l.CheckInvariants(boot); err != nil {
+				return nil, err
+			}
+			return l.Keys(boot), nil
+		}
+	default:
+		return 0, fmt.Errorf("unknown structure %q", structure)
+	}
+
+	res, err := chaos.Run(chaos.Config{
+		Pool:         pool,
+		Threads:      threads,
+		OpsPerThread: ops,
+		GenOp: func(rng *rand.Rand, tid, i int) chaos.Op {
+			return chaos.Op{Kind: rng.Intn(3), Key: rng.Int63n(keyRange) + 1}
+		},
+		Reattach:                   reattach,
+		Seed:                       seed,
+		MaxCrashes:                 crashes,
+		MeanAccessesBetweenCrashes: mean,
+		CommitProb:                 0.5,
+		EvictProb:                  0.1,
+	})
+	if err != nil {
+		return 0, err
+	}
+	keys, err := finalKeys()
+	if err != nil {
+		return 0, err
+	}
+	classify := func(rec chaos.OpRecord) (int64, int) {
+		if rec.Result != 1 {
+			return rec.Op.Key, 0
+		}
+		switch rec.Op.Kind {
+		case 0:
+			return rec.Op.Key, 1
+		case 1:
+			return rec.Op.Key, -1
+		default:
+			return rec.Op.Key, 0
+		}
+	}
+	if err := chaos.CheckSetAlternation(res.Logs, classify, keys); err != nil {
+		return 0, err
+	}
+	return res.Crashes, nil
+}

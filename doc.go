@@ -1,0 +1,19 @@
+// Package repro is a from-scratch Go reproduction of Attiya, Ben-Baruch,
+// Fatourou, Hendler and Kosmas, "Detectable Recovery of Lock-Free Data
+// Structures", PPoPP 2022.
+//
+// The library lives under internal/: the simulated non-volatile memory
+// substrate (internal/pmem), the Tracking transformation that is the
+// paper's primary contribution (internal/tracking), the detectably
+// recoverable data structures derived with it (internal/rlist,
+// internal/rbst, internal/rexchanger), every evaluated competitor
+// (internal/capsules, internal/romulus, internal/redolog), the
+// crash-injection test harness (internal/chaos), a linearizability checker
+// (internal/histcheck), and the experiment harness that regenerates every
+// figure of the paper's evaluation (internal/bench).
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for reproduced results. The
+// benchmarks in bench_test.go provide one testing.B entry point per figure
+// panel; cmd/benchrunner regenerates the full series.
+package repro

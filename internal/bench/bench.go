@@ -1,0 +1,309 @@
+// Package bench is the experiment harness reproducing the evaluation of
+// Attiya et al. (PPoPP 2022), Section 5. It runs the paper's workloads —
+// keys uniform in [1,500], a list preloaded with 250 random inserts,
+// read-intensive (70% Find) and update-intensive (30% Find) mixes — over
+// every evaluated implementation, measures throughput and persistence-
+// instruction counts, classifies pwb code lines into Low/Medium/High impact
+// categories by measuring each line's individual cost, and re-runs with
+// categories removed. Each figure panel of the paper has a driver in
+// experiments.go.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/capsules"
+	"repro/internal/pmem"
+	"repro/internal/rbst"
+	"repro/internal/redolog"
+	"repro/internal/rhash"
+	"repro/internal/rlist"
+	"repro/internal/romulus"
+)
+
+// Algo names an evaluated implementation, with the paper's labels.
+type Algo string
+
+// The evaluated implementations.
+const (
+	AlgoTracking    Algo = "Tracking"      // Section 4 list (Algorithms 3-4)
+	AlgoTrackingBST Algo = "Tracking-BST"  // Section 6 BST (Algorithms 5-6)
+	AlgoCapsules    Algo = "Capsules"      // capsules + full durability transform
+	AlgoCapsulesOpt Algo = "Capsules-Opt"  // hand-tuned persistence
+	AlgoRomulus     Algo = "Romulus"       // blocking persistent TM
+	AlgoRedoOpt     Algo = "RedoOpt"       // persistent universal construction
+	AlgoHarris      Algo = "Harris"        // volatile baseline, no persistence
+	AlgoTrackingMap Algo = "Tracking-Hash" // hash map composed of Tracking lists
+)
+
+// Algos lists every benchmarkable implementation.
+func Algos() []Algo {
+	return []Algo{AlgoTracking, AlgoTrackingBST, AlgoTrackingMap, AlgoCapsules,
+		AlgoCapsulesOpt, AlgoRomulus, AlgoRedoOpt, AlgoHarris}
+}
+
+// Workload parameterizes the key distribution and operation mix.
+type Workload struct {
+	KeyRange int64 // keys drawn uniformly from [1, KeyRange]
+	Preload  int   // random inserts before measuring
+	FindPct  int   // percentage of Finds; the rest split evenly
+}
+
+// ReadIntensive is the paper's 70%-find mix over keys [1,500], preloaded
+// with 250 inserts (an almost 40%-full list).
+func ReadIntensive() Workload { return Workload{KeyRange: 500, Preload: 250, FindPct: 70} }
+
+// UpdateIntensive is the paper's 30%-find mix.
+func UpdateIntensive() Workload { return Workload{KeyRange: 500, Preload: 250, FindPct: 30} }
+
+// Config is one measurement run.
+type Config struct {
+	Algo     Algo
+	Threads  int
+	Duration time.Duration
+	Workload Workload
+	Seed     int64
+	// PoolWords sizes the arena; 0 picks a default adequate for the
+	// duration.
+	PoolWords int
+	// DisablePsync removes all psync/pfence instructions (Figures 3c/4c).
+	DisablePsync bool
+	// DisableAllPWBs removes every pwb code line ("[no pwbs]").
+	DisableAllPWBs bool
+	// DisabledSites removes the named pwb code lines.
+	DisabledSites []string
+	// OnlySites, when non-empty, removes every pwb code line except the
+	// named ones (the "persistence-free + this line" methodology).
+	OnlySites []string
+	// Cost overrides the pmem cost model (zero value: default).
+	Cost pmem.CostModel
+	// TrackingNoReadOnlyOpt disables the paper's read-only optimization
+	// in the Tracking list (ablation).
+	TrackingNoReadOnlyOpt bool
+}
+
+// Result is one measured data point.
+type Result struct {
+	Algo       Algo
+	Threads    int
+	Ops        uint64
+	Elapsed    time.Duration
+	Throughput float64 // operations per second
+	// Stats holds the persistence-instruction counters accumulated during
+	// the measured phase (preloading excluded).
+	Stats pmem.Stats
+}
+
+// opRunner is the uniform per-thread face of an implementation.
+type opRunner interface {
+	Insert(key int64) bool
+	Delete(key int64) bool
+	Find(key int64) bool
+}
+
+// instance is a constructed structure plus its per-thread runner factory.
+type instance struct {
+	pool   *pmem.Pool
+	runner func(tid int) opRunner
+}
+
+// build constructs the algorithm under test on a fresh fast-mode pool.
+func build(cfg Config) (*instance, error) {
+	words := cfg.PoolWords
+	if words == 0 {
+		words = 1 << 23 // 64 MiB arena default
+	}
+	pool := pmem.New(pmem.Config{
+		Mode:          pmem.ModeFast,
+		CapacityWords: words,
+		MaxThreads:    cfg.Threads + 1,
+		Cost:          cfg.Cost,
+	})
+	inst := &instance{pool: pool}
+	switch cfg.Algo {
+	case AlgoTracking:
+		l := rlist.New(pool, cfg.Threads+1, 0)
+		if cfg.TrackingNoReadOnlyOpt {
+			l.SetReadOnlyOpt(false)
+		}
+		inst.runner = func(tid int) opRunner { return l.Handle(pool.NewThread(tid)) }
+	case AlgoTrackingBST:
+		tr := rbst.New(pool, cfg.Threads+1, 0)
+		inst.runner = func(tid int) opRunner { return tr.Handle(pool.NewThread(tid)) }
+	case AlgoTrackingMap:
+		m := rhash.New(pool, 64, cfg.Threads+1, 0)
+		inst.runner = func(tid int) opRunner { return m.Handle(pool.NewThread(tid)) }
+	case AlgoCapsules:
+		l := capsules.New(pool, capsules.VariantFull, cfg.Threads+1, 0)
+		inst.runner = func(tid int) opRunner { return l.Handle(pool.NewThread(tid)) }
+	case AlgoCapsulesOpt:
+		l := capsules.New(pool, capsules.VariantOpt, cfg.Threads+1, 0)
+		inst.runner = func(tid int) opRunner { return l.Handle(pool.NewThread(tid)) }
+	case AlgoHarris:
+		l := capsules.New(pool, capsules.VariantNone, cfg.Threads+1, 0)
+		inst.runner = func(tid int) opRunner { return l.Handle(pool.NewThread(tid)) }
+	case AlgoRomulus:
+		// The TM region is a fraction of the arena (it is duplicated).
+		tm := romulus.NewTM(pool, words/8, cfg.Threads+1, 0)
+		l := romulus.NewList(tm, pool.NewThread(0))
+		inst.runner = func(tid int) opRunner {
+			return &romulusRunner{tm: tm, l: l, ctx: pool.NewThread(tid)}
+		}
+	case AlgoRedoOpt:
+		s := redolog.New(pool, words/8, cfg.Threads+1, 0)
+		inst.runner = func(tid int) opRunner { return s.Handle(pool.NewThread(tid)) }
+	default:
+		return nil, fmt.Errorf("bench: unknown algorithm %q", cfg.Algo)
+	}
+	return inst, nil
+}
+
+// romulusRunner adapts the TM list to the uniform interface.
+type romulusRunner struct {
+	tm  *romulus.TM
+	l   *romulus.List
+	ctx *pmem.ThreadCtx
+}
+
+func (r *romulusRunner) Insert(key int64) bool {
+	return r.l.Insert(r.ctx, r.tm.Invoke(r.ctx), key)
+}
+
+func (r *romulusRunner) Delete(key int64) bool {
+	return r.l.Delete(r.ctx, r.tm.Invoke(r.ctx), key)
+}
+
+func (r *romulusRunner) Find(key int64) bool { return r.l.Find(r.ctx, key) }
+
+// applySiteConfig arms the pool's site switches per the run configuration.
+func applySiteConfig(pool *pmem.Pool, cfg Config) {
+	if cfg.DisablePsync {
+		pool.SetPsyncEnabled(false)
+	}
+	if cfg.DisableAllPWBs {
+		pool.SetAllSitesEnabled(false)
+		return
+	}
+	labels := pool.SiteLabels()
+	if len(cfg.OnlySites) > 0 {
+		keep := map[string]bool{}
+		for _, l := range cfg.OnlySites {
+			keep[l] = true
+		}
+		for i, l := range labels {
+			pool.SetSiteEnabled(pmem.Site(i), keep[l])
+		}
+		return
+	}
+	if len(cfg.DisabledSites) > 0 {
+		drop := map[string]bool{}
+		for _, l := range cfg.DisabledSites {
+			drop[l] = true
+		}
+		for i, l := range labels {
+			if drop[l] {
+				pool.SetSiteEnabled(pmem.Site(i), false)
+			}
+		}
+	}
+}
+
+// Run executes one measurement and returns its data point.
+func Run(cfg Config) (Result, error) {
+	if cfg.Threads <= 0 {
+		return Result{}, fmt.Errorf("bench: Threads must be positive")
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 500 * time.Millisecond
+	}
+	if cfg.Workload.KeyRange == 0 {
+		cfg.Workload = ReadIntensive()
+	}
+	inst, err := build(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	applySiteConfig(inst.pool, cfg)
+
+	// Preload with the boot thread (thread id 0): the paper populates the
+	// structure with 250 random inserts before measuring.
+	pre := inst.runner(0)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < cfg.Workload.Preload; i++ {
+		pre.Insert(rng.Int63n(cfg.Workload.KeyRange) + 1)
+	}
+
+	base := inst.pool.Snapshot()
+	var stop atomic.Bool
+	var total atomic.Uint64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 1; t <= cfg.Threads; t++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			r := inst.runner(tid)
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(tid)*7919))
+			ops := uint64(0)
+			for !stop.Load() {
+				for i := 0; i < 8; i++ {
+					key := rng.Int63n(cfg.Workload.KeyRange) + 1
+					pct := rng.Intn(100)
+					switch {
+					case pct < cfg.Workload.FindPct:
+						r.Find(key)
+					case pct&1 == 0:
+						r.Insert(key)
+					default:
+						r.Delete(key)
+					}
+					ops++
+					// Yield between operations: on few-core hosts this
+					// recreates the fine-grained thread interleaving of
+					// the paper's 96-hardware-thread machine, which the
+					// contention-dependent flush costs rely on.
+					runtime.Gosched()
+				}
+			}
+			total.Add(ops)
+		}(t)
+	}
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := inst.pool.Snapshot()
+	st.PWBs -= base.PWBs
+	st.PSyncs -= base.PSyncs
+	st.PFences -= base.PFences
+	st.SpinUnits -= base.SpinUnits
+	for k, v := range base.PWBsBySite {
+		st.PWBsBySite[k] -= v
+	}
+
+	ops := total.Load()
+	return Result{
+		Algo:       cfg.Algo,
+		Threads:    cfg.Threads,
+		Ops:        ops,
+		Elapsed:    elapsed,
+		Throughput: float64(ops) / elapsed.Seconds(),
+		Stats:      st,
+	}, nil
+}
+
+// SiteLabelsFor returns the pwb code-line labels an algorithm registers
+// (built on a throwaway pool).
+func SiteLabelsFor(algo Algo) ([]string, error) {
+	inst, err := build(Config{Algo: algo, Threads: 1, PoolWords: 1 << 12})
+	if err != nil {
+		return nil, err
+	}
+	return inst.pool.SiteLabels(), nil
+}

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pmem"
+)
+
+// Runner is a prepared benchmark instance for testing.B-style measurement:
+// the pool is built, the structure created and preloaded, and the site
+// switches armed, so RunOps measures only the operation phase.
+type Runner struct {
+	cfg  Config
+	inst *instance
+	base pmem.Stats
+}
+
+// Prepare builds a Runner for cfg (Duration is ignored; RunOps drives the
+// length).
+func Prepare(cfg Config) (*Runner, error) {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.Workload.KeyRange == 0 {
+		cfg.Workload = ReadIntensive()
+	}
+	inst, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	applySiteConfig(inst.pool, cfg)
+	pre := inst.runner(0)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < cfg.Workload.Preload; i++ {
+		pre.Insert(rng.Int63n(cfg.Workload.KeyRange) + 1)
+	}
+	return &Runner{cfg: cfg, inst: inst, base: inst.pool.Snapshot()}, nil
+}
+
+// RunOps executes (at least) n operations spread over the configured
+// threads with the configured mix.
+func (r *Runner) RunOps(n int) {
+	remaining := atomic.Int64{}
+	remaining.Store(int64(n))
+	var wg sync.WaitGroup
+	for t := 1; t <= r.cfg.Threads; t++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			run := r.inst.runner(tid)
+			rng := rand.New(rand.NewSource(r.cfg.Seed + int64(tid)*7919))
+			for remaining.Add(-8) > -8 {
+				for i := 0; i < 8; i++ {
+					key := rng.Int63n(r.cfg.Workload.KeyRange) + 1
+					pct := rng.Intn(100)
+					switch {
+					case pct < r.cfg.Workload.FindPct:
+						run.Find(key)
+					case pct&1 == 0:
+						run.Insert(key)
+					default:
+						run.Delete(key)
+					}
+					runtime.Gosched()
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+}
+
+// Stats returns the persistence counters accumulated by RunOps so far.
+func (r *Runner) Stats() pmem.Stats {
+	st := r.inst.pool.Snapshot()
+	st.PWBs -= r.base.PWBs
+	st.PSyncs -= r.base.PSyncs
+	st.PFences -= r.base.PFences
+	st.SpinUnits -= r.base.SpinUnits
+	for k, v := range r.base.PWBsBySite {
+		st.PWBsBySite[k] -= v
+	}
+	return st
+}

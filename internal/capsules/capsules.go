@@ -1,0 +1,655 @@
+// Package capsules implements the principal competitor evaluated in
+// Section 5 of Attiya et al. (PPoPP 2022): Harris's lock-free ordered
+// linked list made detectably recoverable with the capsules transformation
+// of Ben-David, Blelloch, Friedman and Wei (SPAA 2019), in its normalized
+// form (two capsules per operation).
+//
+// The package provides three variants of the same list:
+//
+//   - VariantNone — the plain volatile Harris list, no persistence
+//     instructions at all. This is the persistence-free reference the
+//     paper's categorization methodology measures against.
+//   - VariantFull — "Capsules" in the paper: capsule boundaries plus the
+//     general durability transformation of Izraelevitz et al., which
+//     issues pwb+pfence after every access to shared memory. Its cost is
+//     prohibitive, exactly as Figures 3a/4a show.
+//   - VariantOpt — "Capsules-Opt": the hand-tuned persistence placement
+//     described in Section 5. A traversal persists only the marked nodes
+//     it visits (a logically deleted node must be durable before anyone
+//     acts on having not-found it) and the neighborhood of the operation's
+//     target (pred and curr), plus the capsule-boundary writes to the
+//     thread's private record.
+//
+// Recoverable CAS. The normalized capsule form needs each operation's
+// single linearizing CAS to be detectable. Following Ben-David et al.,
+// detectability comes from value identity: an insert installs a freshly
+// allocated node whose address never recurs, so recovery can decide the
+// CAS's fate by checking whether the node is reachable or marked; a delete
+// embeds the deleting thread's id in the mark word of curr.next, so
+// recovery reads the mark to learn who deleted the node.
+//
+// Pointer encoding: a next field packs (word index << 32) | (markerTid+1)
+// << 1 | markBit, supporting pools up to 32 GiB and 2^30 threads' ids.
+package capsules
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/pmem"
+)
+
+// Variant selects the persistence regime of a list.
+type Variant int
+
+const (
+	// VariantNone is the volatile Harris list (no persistence).
+	VariantNone Variant = iota
+	// VariantFull is Capsules with the general durability transform.
+	VariantFull
+	// VariantOpt is the hand-tuned Capsules-Opt.
+	VariantOpt
+)
+
+// String names the variant as the paper does.
+func (v Variant) String() string {
+	switch v {
+	case VariantNone:
+		return "Harris"
+	case VariantFull:
+		return "Capsules"
+	case VariantOpt:
+		return "Capsules-Opt"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Node word offsets: key, next (encoded).
+const (
+	offKey  = 0
+	offNext = pmem.WordSize
+	nodeLen = 2
+)
+
+func keyBits(k int64) uint64 { return uint64(k) }
+
+// next-field encoding.
+func encode(addr pmem.Addr, markerTid int, marked bool) uint64 {
+	v := uint64(addr/pmem.WordSize) << 32
+	if marked {
+		v |= uint64(markerTid+1)<<1 | 1
+	}
+	return v
+}
+
+func decodeAddr(v uint64) pmem.Addr { return pmem.Addr(v>>32) * pmem.WordSize }
+func isMarked(v uint64) bool        { return v&1 == 1 }
+func markerOf(v uint64) int         { return int(v>>1&0x7fffffff) - 1 }
+
+// Phases of the per-thread capsule record.
+const (
+	phaseGenerator uint64 = iota + 1
+	phaseInsertCAS
+	phaseDeleteCAS
+	phaseDone
+)
+
+// Operation types recorded for recovery.
+const (
+	opInsert uint64 = 1
+	opDelete uint64 = 2
+	opFind   uint64 = 3
+)
+
+// resultBottom marks "no result yet" in the record.
+const resultBottom = ^uint64(0)
+
+// Per-thread capsule record word offsets (one cache line per thread).
+// CP plays the same role as in Tracking: the system resets it atomically at
+// invocation; the record is meaningful only when CP == 1.
+const (
+	recCP     = 0
+	recPhase  = pmem.WordSize
+	recOp     = 2 * pmem.WordSize
+	recKey    = 3 * pmem.WordSize
+	recPred   = 4 * pmem.WordSize // insert: pred; delete: pred at generator time
+	recTarget = 5 * pmem.WordSize // insert: new node; delete: curr to mark
+	recOldVal = 6 * pmem.WordSize // expected value of the CAS
+	recResult = 7 * pmem.WordSize
+	recLen    = 8
+)
+
+// Header word offsets.
+const (
+	hdrHead    = 0
+	hdrTable   = pmem.WordSize
+	hdrThreads = 2 * pmem.WordSize
+	hdrLen     = 3
+)
+
+type sites struct {
+	record   pmem.Site // capsule-boundary writes to the private record
+	fresh    pmem.Site // persisting a freshly allocated node
+	traverse pmem.Site // durability transform: flush every traversed node (Full)
+	marked   pmem.Site // flush a marked node seen during traversal (Full+Opt)
+	neighbor pmem.Site // flush the target neighborhood (Opt; covered by traverse in Full)
+	cas      pmem.Site // flush the field updated by the linearizing CAS
+	unlink   pmem.Site // flush a physical unlink
+}
+
+func registerSites(pool *pmem.Pool, v Variant) sites {
+	prefix := "caps"
+	if v == VariantOpt {
+		prefix = "capsopt"
+	}
+	return sites{
+		record:   pool.RegisterSite(prefix + "/pwb-record"),
+		fresh:    pool.RegisterSite(prefix + "/pwb-new-node"),
+		traverse: pool.RegisterSite(prefix + "/pwb-traverse-read"),
+		marked:   pool.RegisterSite(prefix + "/pwb-marked-node"),
+		neighbor: pool.RegisterSite(prefix + "/pwb-neighborhood"),
+		cas:      pool.RegisterSite(prefix + "/pwb-cas-field"),
+		unlink:   pool.RegisterSite(prefix + "/pwb-unlink"),
+	}
+}
+
+// List is a Harris ordered list under one of the three persistence
+// variants.
+type List struct {
+	pool    *pmem.Pool
+	variant Variant
+	head    pmem.Addr
+	table   pmem.Addr
+	header  pmem.Addr
+	s       sites
+}
+
+// New creates an empty list and records its header in rootSlot.
+func New(pool *pmem.Pool, variant Variant, maxThreads, rootSlot int) *List {
+	boot := pool.NewThread(0)
+	tail := boot.AllocLocal(nodeLen)
+	boot.Store(tail+offKey, keyBits(math.MaxInt64))
+	head := boot.AllocLocal(nodeLen)
+	boot.Store(head+offKey, keyBits(math.MinInt64))
+	boot.Store(head+offNext, encode(tail, 0, false))
+	table := boot.AllocLines(maxThreads)
+
+	header := boot.AllocLocal(hdrLen)
+	boot.Store(header+hdrHead, uint64(head))
+	boot.Store(header+hdrTable, uint64(table))
+	boot.Store(header+hdrThreads, uint64(maxThreads))
+
+	boot.PWBRange(pmem.NoSite, tail, nodeLen)
+	boot.PWBRange(pmem.NoSite, head, nodeLen)
+	boot.PWBRange(pmem.NoSite, table, maxThreads*pmem.LineWords)
+	boot.PWBRange(pmem.NoSite, header, hdrLen)
+	boot.PFence()
+	root := pool.RootSlot(rootSlot)
+	boot.Store(root, uint64(header))
+	boot.PWB(pmem.NoSite, root)
+	boot.PSync()
+
+	l := &List{pool: pool, variant: variant, head: head, table: table, header: header}
+	if variant != VariantNone {
+		l.s = registerSites(pool, variant)
+	}
+	return l
+}
+
+// Attach reconstructs a List from the header in rootSlot. The variant must
+// match the one the list was created with.
+func Attach(pool *pmem.Pool, variant Variant, rootSlot int) (*List, error) {
+	boot := pool.NewThread(0)
+	header := pmem.Addr(boot.Load(pool.RootSlot(rootSlot)))
+	if header == pmem.Null {
+		return nil, fmt.Errorf("capsules: root slot %d holds no list", rootSlot)
+	}
+	head := pmem.Addr(boot.Load(header + hdrHead))
+	table := pmem.Addr(boot.Load(header + hdrTable))
+	if head == pmem.Null || table == pmem.Null {
+		return nil, fmt.Errorf("capsules: corrupt header at %#x", uint64(header))
+	}
+	l := &List{pool: pool, variant: variant, head: head, table: table, header: header}
+	if variant != VariantNone {
+		l.s = registerSites(pool, variant)
+	}
+	return l, nil
+}
+
+// Handle binds a thread context to the list; one per simulated thread.
+type Handle struct {
+	list *List
+	ctx  *pmem.ThreadCtx
+	rec  pmem.Addr
+}
+
+// Handle creates the per-thread handle for ctx.
+func (l *List) Handle(ctx *pmem.ThreadCtx) *Handle {
+	return &Handle{list: l, ctx: ctx, rec: l.table + pmem.Addr(ctx.TID()*pmem.LineBytes)}
+}
+
+// Invoke performs the system-side failure-atomic invocation step (CP := 0).
+func (h *Handle) Invoke() {
+	if h.list.variant == VariantNone {
+		return
+	}
+	h.ctx.StoreDurable(h.list.s.record, h.rec+recCP, 0)
+}
+
+// pwbIf issues a PWB only in persistence-enabled variants.
+func (h *Handle) pwbIf(on bool, s pmem.Site, a pmem.Addr) {
+	if on && h.list.variant != VariantNone {
+		h.ctx.PWB(s, a)
+	}
+}
+
+// boundary persists the capsule record and drains — the capsule-boundary
+// step. All its pwbs hit the thread's private line.
+func (h *Handle) boundary() {
+	if h.list.variant == VariantNone {
+		return
+	}
+	h.ctx.PWBRange(h.list.s.record, h.rec, recLen)
+	h.ctx.PSync()
+}
+
+// beginOp starts a fresh capsule record for an operation.
+func (h *Handle) beginOp(op uint64, key int64) {
+	c := h.ctx
+	c.Store(h.rec+recPhase, phaseGenerator)
+	c.Store(h.rec+recOp, op)
+	c.Store(h.rec+recKey, keyBits(key))
+	c.Store(h.rec+recResult, resultBottom)
+	h.boundary()
+	c.Store(h.rec+recCP, 1)
+	if h.list.variant != VariantNone {
+		c.PWB(h.list.s.record, h.rec+recCP)
+		c.PSync()
+	}
+}
+
+// finish records the operation's response at the closing capsule boundary.
+func (h *Handle) finish(result bool) bool {
+	c := h.ctx
+	r := uint64(0)
+	if result {
+		r = 1
+	}
+	c.Store(h.rec+recResult, r)
+	c.Store(h.rec+recPhase, phaseDone)
+	h.boundary()
+	return result
+}
+
+// search locates the window (pred, curr) for key, snipping marked nodes on
+// the way (Harris/Michael physical deletion). It applies the variant's
+// persistence rules to traversal reads.
+func (h *Handle) search(key int64) (pred, curr pmem.Addr) {
+	c := h.ctx
+	l := h.list
+	full := l.variant == VariantFull
+retry:
+	for {
+		pred = l.head
+		predNextEnc := c.Load(pred + offNext)
+		h.pwbIf(full, l.s.traverse, pred+offNext)
+		curr = decodeAddr(predNextEnc)
+		for {
+			succEnc := c.Load(curr + offNext)
+			h.pwbIf(full, l.s.traverse, curr+offNext)
+			if isMarked(succEnc) {
+				// A logically deleted node: everyone who traverses
+				// it must persist the mark before acting on it
+				// (both variants), then help unlink it.
+				h.pwbIf(!full, l.s.marked, curr+offNext)
+				succ := decodeAddr(succEnc)
+				if !c.CAS(pred+offNext, encode(curr, 0, false), encode(succ, 0, false)) {
+					continue retry
+				}
+				h.pwbIf(true, l.s.unlink, pred+offNext)
+				curr = succ
+				continue
+			}
+			h.pwbIf(full, l.s.traverse, curr+offKey)
+			if int64(c.Load(curr+offKey)) >= key {
+				return pred, curr
+			}
+			pred = curr
+			curr = decodeAddr(succEnc)
+		}
+	}
+}
+
+// persistNeighborhood applies Capsules-Opt's rule: before the operation
+// acts on its window, the two nodes around the target are persisted.
+func (h *Handle) persistNeighborhood(pred, curr pmem.Addr) {
+	if h.list.variant != VariantOpt {
+		return
+	}
+	c := h.ctx
+	c.PWBRange(h.list.s.neighbor, pred, nodeLen)
+	c.PWBRange(h.list.s.neighbor, curr, nodeLen)
+	c.PFence()
+}
+
+// Insert adds key and reports whether it was absent.
+func (h *Handle) Insert(key int64) bool {
+	checkKey(key)
+	h.Invoke()
+	c := h.ctx
+	l := h.list
+	h.beginOp(opInsert, key)
+	newnd := c.AllocLocal(nodeLen)
+	c.Store(newnd+offKey, keyBits(key))
+	for {
+		// Generator capsule: find the window, prepare the CAS.
+		pred, curr := h.search(key)
+		h.persistNeighborhood(pred, curr)
+		if int64(c.Load(curr+offKey)) == key {
+			return h.finish(false)
+		}
+		c.Store(newnd+offNext, encode(curr, 0, false))
+		if l.variant != VariantNone {
+			c.PWBRange(l.s.fresh, newnd, nodeLen)
+		}
+		c.Store(h.rec+recPred, uint64(pred))
+		c.Store(h.rec+recTarget, uint64(newnd))
+		c.Store(h.rec+recOldVal, encode(curr, 0, false))
+		c.Store(h.rec+recPhase, phaseInsertCAS)
+		h.boundary()
+
+		// Executor capsule: the linearizing CAS.
+		if c.CAS(pred+offNext, encode(curr, 0, false), encode(newnd, 0, false)) {
+			h.pwbIf(true, l.s.cas, pred+offNext)
+			if l.variant != VariantNone {
+				c.PSync()
+			}
+			return h.finish(true)
+		}
+		// CAS failed: back to the generator capsule.
+		c.Store(h.rec+recPhase, phaseGenerator)
+		h.boundary()
+	}
+}
+
+// Delete removes key and reports whether it was present. The linearization
+// point is the successful marking of curr.next with this thread's id.
+func (h *Handle) Delete(key int64) bool {
+	checkKey(key)
+	h.Invoke()
+	c := h.ctx
+	l := h.list
+	h.beginOp(opDelete, key)
+	for {
+		pred, curr := h.search(key)
+		h.persistNeighborhood(pred, curr)
+		if int64(c.Load(curr+offKey)) != key {
+			return h.finish(false)
+		}
+		succEnc := c.Load(curr + offNext)
+		if isMarked(succEnc) {
+			// Raced with another deleter; retry via search (which
+			// will snip it).
+			continue
+		}
+		c.Store(h.rec+recPred, uint64(pred))
+		c.Store(h.rec+recTarget, uint64(curr))
+		c.Store(h.rec+recOldVal, succEnc)
+		c.Store(h.rec+recPhase, phaseDeleteCAS)
+		h.boundary()
+
+		succ := decodeAddr(succEnc)
+		if c.CAS(curr+offNext, succEnc, encode(succ, c.TID(), true)) {
+			h.pwbIf(true, l.s.cas, curr+offNext)
+			if l.variant != VariantNone {
+				c.PSync()
+			}
+			// Best-effort physical unlink; search will finish it
+			// otherwise.
+			if c.CAS(pred+offNext, encode(curr, 0, false), encode(succ, 0, false)) {
+				h.pwbIf(true, l.s.unlink, pred+offNext)
+			}
+			return h.finish(true)
+		}
+		c.Store(h.rec+recPhase, phaseGenerator)
+		h.boundary()
+	}
+}
+
+// Find reports whether key is present.
+func (h *Handle) Find(key int64) bool {
+	checkKey(key)
+	h.Invoke()
+	c := h.ctx
+	h.beginOp(opFind, key)
+	pred, curr := h.search(key)
+	// The presence decision depends on curr's window being durable;
+	// Capsules-Opt persists the neighborhood so the response is stable
+	// across a crash (the closing boundary drains the write-backs).
+	h.persistNeighborhood(pred, curr)
+	return h.finish(int64(c.Load(curr+offKey)) == key)
+}
+
+func checkKey(key int64) {
+	if key == math.MinInt64 || key == math.MaxInt64 {
+		panic("capsules: key collides with a sentinel")
+	}
+}
+
+// reachable reports whether node is reachable from the head (used by
+// recovery to decide an insert CAS's fate).
+func (h *Handle) reachable(node pmem.Addr) bool {
+	c := h.ctx
+	curr := h.list.head
+	for {
+		if curr == node {
+			return true
+		}
+		enc := c.Load(curr + offNext)
+		next := decodeAddr(enc)
+		if next == pmem.Null {
+			return false
+		}
+		curr = next
+	}
+}
+
+// RecoverInsert resolves a crashed Insert(key) and returns its response.
+func (h *Handle) RecoverInsert(key int64) bool {
+	c := h.ctx
+	if h.list.variant == VariantNone {
+		panic("capsules: VariantNone is not recoverable")
+	}
+	if c.Load(h.rec+recCP) == 0 {
+		return h.Insert(key)
+	}
+	switch c.Load(h.rec + recPhase) {
+	case phaseDone:
+		return c.Load(h.rec+recResult) == 1
+	case phaseInsertCAS:
+		newnd := pmem.Addr(c.Load(h.rec + recTarget))
+		// The CAS took effect iff the fresh node entered the list:
+		// still reachable, or already marked by a later delete.
+		if isMarked(c.Load(newnd+offNext)) || h.reachable(newnd) {
+			h.pwbIf(true, h.list.s.cas, newnd+offNext)
+			if h.list.variant != VariantNone {
+				c.PSync()
+			}
+			return h.finish(true)
+		}
+		return h.resumeInsert(key)
+	case phaseGenerator:
+		return h.resumeInsert(key)
+	default:
+		return h.Insert(key)
+	}
+}
+
+// resumeInsert re-runs Insert's capsule loop without resetting the record's
+// operation identity.
+func (h *Handle) resumeInsert(key int64) bool {
+	c := h.ctx
+	c.Store(h.rec+recPhase, phaseGenerator)
+	h.boundary()
+	// A fresh node is allocated; the one from the crashed attempt (never
+	// installed) is abandoned, like any allocation lost to a crash.
+	return h.insertFrom(key)
+}
+
+// insertFrom is Insert without Invoke/beginOp, used on recovery paths.
+func (h *Handle) insertFrom(key int64) bool {
+	c := h.ctx
+	l := h.list
+	newnd := c.AllocLocal(nodeLen)
+	c.Store(newnd+offKey, keyBits(key))
+	for {
+		pred, curr := h.search(key)
+		h.persistNeighborhood(pred, curr)
+		if int64(c.Load(curr+offKey)) == key {
+			return h.finish(false)
+		}
+		c.Store(newnd+offNext, encode(curr, 0, false))
+		if l.variant != VariantNone {
+			c.PWBRange(l.s.fresh, newnd, nodeLen)
+		}
+		c.Store(h.rec+recPred, uint64(pred))
+		c.Store(h.rec+recTarget, uint64(newnd))
+		c.Store(h.rec+recOldVal, encode(curr, 0, false))
+		c.Store(h.rec+recPhase, phaseInsertCAS)
+		h.boundary()
+		if c.CAS(pred+offNext, encode(curr, 0, false), encode(newnd, 0, false)) {
+			h.pwbIf(true, l.s.cas, pred+offNext)
+			if l.variant != VariantNone {
+				c.PSync()
+			}
+			return h.finish(true)
+		}
+		c.Store(h.rec+recPhase, phaseGenerator)
+		h.boundary()
+	}
+}
+
+// RecoverDelete resolves a crashed Delete(key) and returns its response.
+func (h *Handle) RecoverDelete(key int64) bool {
+	c := h.ctx
+	if h.list.variant == VariantNone {
+		panic("capsules: VariantNone is not recoverable")
+	}
+	if c.Load(h.rec+recCP) == 0 {
+		return h.Delete(key)
+	}
+	switch c.Load(h.rec + recPhase) {
+	case phaseDone:
+		return c.Load(h.rec+recResult) == 1
+	case phaseDeleteCAS:
+		curr := pmem.Addr(c.Load(h.rec + recTarget))
+		enc := c.Load(curr + offNext)
+		if isMarked(enc) && markerOf(enc) == c.TID() {
+			// Our mark is durable: the delete linearized.
+			h.pwbIf(true, h.list.s.cas, curr+offNext)
+			if h.list.variant != VariantNone {
+				c.PSync()
+			}
+			return h.finish(true)
+		}
+		return h.resumeDelete(key)
+	case phaseGenerator:
+		return h.resumeDelete(key)
+	default:
+		return h.Delete(key)
+	}
+}
+
+func (h *Handle) resumeDelete(key int64) bool {
+	c := h.ctx
+	l := h.list
+	c.Store(h.rec+recPhase, phaseGenerator)
+	h.boundary()
+	for {
+		pred, curr := h.search(key)
+		h.persistNeighborhood(pred, curr)
+		if int64(c.Load(curr+offKey)) != key {
+			return h.finish(false)
+		}
+		succEnc := c.Load(curr + offNext)
+		if isMarked(succEnc) {
+			continue
+		}
+		c.Store(h.rec+recPred, uint64(pred))
+		c.Store(h.rec+recTarget, uint64(curr))
+		c.Store(h.rec+recOldVal, succEnc)
+		c.Store(h.rec+recPhase, phaseDeleteCAS)
+		h.boundary()
+		succ := decodeAddr(succEnc)
+		if c.CAS(curr+offNext, succEnc, encode(succ, c.TID(), true)) {
+			h.pwbIf(true, l.s.cas, curr+offNext)
+			if l.variant != VariantNone {
+				c.PSync()
+			}
+			if c.CAS(pred+offNext, encode(curr, 0, false), encode(succ, 0, false)) {
+				h.pwbIf(true, l.s.unlink, pred+offNext)
+			}
+			return h.finish(true)
+		}
+		c.Store(h.rec+recPhase, phaseGenerator)
+		h.boundary()
+	}
+}
+
+// RecoverFind resolves a crashed Find(key).
+func (h *Handle) RecoverFind(key int64) bool {
+	c := h.ctx
+	if h.list.variant == VariantNone {
+		panic("capsules: VariantNone is not recoverable")
+	}
+	if c.Load(h.rec+recCP) != 0 && c.Load(h.rec+recPhase) == phaseDone {
+		return c.Load(h.rec+recResult) == 1
+	}
+	return h.Find(key)
+}
+
+// Keys returns the unmarked keys in order (diagnostic helper).
+func (l *List) Keys(ctx *pmem.ThreadCtx) []int64 {
+	var out []int64
+	enc := ctx.Load(l.head + offNext)
+	curr := decodeAddr(enc)
+	for {
+		k := int64(ctx.Load(curr + offKey))
+		if k == math.MaxInt64 {
+			return out
+		}
+		succEnc := ctx.Load(curr + offNext)
+		if !isMarked(succEnc) {
+			out = append(out, k)
+		}
+		curr = decodeAddr(succEnc)
+	}
+}
+
+// CheckInvariants verifies sortedness and termination.
+func (l *List) CheckInvariants(ctx *pmem.ThreadCtx) error {
+	maxSteps := l.pool.AllocatedWords()
+	prev := int64(math.MinInt64)
+	curr := l.head
+	for steps := 0; ; steps++ {
+		if steps > maxSteps {
+			return fmt.Errorf("capsules: traversal exceeded %d steps (cycle?)", maxSteps)
+		}
+		k := int64(ctx.Load(curr + offKey))
+		enc := ctx.Load(curr + offNext)
+		if curr != l.head && !isMarked(enc) && k <= prev {
+			return fmt.Errorf("capsules: keys out of order: %d after %d", k, prev)
+		}
+		if k == math.MaxInt64 {
+			return nil
+		}
+		if !isMarked(enc) {
+			prev = k
+		}
+		curr = decodeAddr(enc)
+		if curr == pmem.Null {
+			return fmt.Errorf("capsules: fell off the list after key %d", prev)
+		}
+	}
+}

@@ -1,0 +1,483 @@
+package capsules
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chaos"
+	"repro/internal/pmem"
+)
+
+func newList(t testing.TB, mode pmem.Mode, v Variant) (*pmem.Pool, *List) {
+	t.Helper()
+	pool := pmem.New(pmem.Config{Mode: mode, CapacityWords: 1 << 20, MaxThreads: 16})
+	return pool, New(pool, v, 16, 0)
+}
+
+func TestVariantString(t *testing.T) {
+	if VariantNone.String() != "Harris" || VariantFull.String() != "Capsules" || VariantOpt.String() != "Capsules-Opt" {
+		t.Fatal("variant names drifted from the paper's")
+	}
+}
+
+func TestEncoding(t *testing.T) {
+	f := func(rawAddr uint32, tid uint16, marked bool) bool {
+		addr := pmem.Addr(rawAddr) * pmem.WordSize
+		v := encode(addr, int(tid), marked)
+		if decodeAddr(v) != addr || isMarked(v) != marked {
+			return false
+		}
+		if marked && markerOf(v) != int(tid) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBasicOpsAllVariants(t *testing.T) {
+	for _, v := range []Variant{VariantNone, VariantFull, VariantOpt} {
+		t.Run(v.String(), func(t *testing.T) {
+			pool, l := newList(t, pmem.ModeStrict, v)
+			h := l.Handle(pool.NewThread(1))
+			if !h.Insert(5) || h.Insert(5) {
+				t.Fatal("insert semantics broken")
+			}
+			if !h.Find(5) || h.Find(6) {
+				t.Fatal("find semantics broken")
+			}
+			if !h.Delete(5) || h.Delete(5) || h.Find(5) {
+				t.Fatal("delete semantics broken")
+			}
+			if err := l.CheckInvariants(h.ctx); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestQuickModelEquivalence(t *testing.T) {
+	for _, v := range []Variant{VariantNone, VariantFull, VariantOpt} {
+		t.Run(v.String(), func(t *testing.T) {
+			f := func(ops []uint16) bool {
+				pool, l := newList(t, pmem.ModeStrict, v)
+				h := l.Handle(pool.NewThread(1))
+				model := map[int64]bool{}
+				for _, o := range ops {
+					key := int64(o%40) + 1
+					switch o % 3 {
+					case 0:
+						if h.Insert(key) != !model[key] {
+							return false
+						}
+						model[key] = true
+					case 1:
+						if h.Delete(key) != model[key] {
+							return false
+						}
+						delete(model, key)
+					default:
+						if h.Find(key) != model[key] {
+							return false
+						}
+					}
+				}
+				keys := l.Keys(h.ctx)
+				if len(keys) != len(model) {
+					return false
+				}
+				for _, k := range keys {
+					if !model[k] {
+						return false
+					}
+				}
+				return l.CheckInvariants(h.ctx) == nil
+			}
+			cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(17))}
+			if err := quick.Check(f, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSentinelKeysPanic(t *testing.T) {
+	pool, l := newList(t, pmem.ModeStrict, VariantOpt)
+	h := l.Handle(pool.NewThread(1))
+	for _, k := range []int64{math.MinInt64, math.MaxInt64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("sentinel key %d accepted", k)
+				}
+			}()
+			h.Insert(k)
+		}()
+	}
+}
+
+func TestDeleteMarkRecordsTid(t *testing.T) {
+	pool, l := newList(t, pmem.ModeStrict, VariantOpt)
+	h := l.Handle(pool.NewThread(5))
+	h.Insert(10)
+	h.Insert(20)
+	// Locate node 10 before deleting it.
+	_, curr := h.search(10)
+	if !h.Delete(10) {
+		t.Fatal("Delete(10) failed")
+	}
+	enc := h.ctx.Load(curr + offNext)
+	if !isMarked(enc) {
+		t.Fatal("deleted node not marked")
+	}
+	if markerOf(enc) != 5 {
+		t.Fatalf("mark records tid %d, want 5", markerOf(enc))
+	}
+}
+
+func TestPersistenceCounts(t *testing.T) {
+	// The durability transform must flush traversal reads; Capsules-Opt
+	// must not.
+	countFor := func(v Variant) pmem.Stats {
+		pool, l := newList(t, pmem.ModeFast, v)
+		base := pool.Snapshot() // construction costs are not algorithm costs
+		h := l.Handle(pool.NewThread(1))
+		for k := int64(1); k <= 30; k++ {
+			h.Insert(k)
+		}
+		for k := int64(1); k <= 30; k++ {
+			h.Find(k)
+		}
+		st := pool.Snapshot()
+		st.PWBs -= base.PWBs
+		st.PSyncs -= base.PSyncs
+		st.PFences -= base.PFences
+		return st
+	}
+	full := countFor(VariantFull)
+	opt := countFor(VariantOpt)
+	none := countFor(VariantNone)
+	if none.PWBs != 0 || none.PSyncs != 0 {
+		t.Fatalf("volatile variant issued persistence instructions: %+v", none)
+	}
+	if full.PWBsBySite["caps/pwb-traverse-read"] == 0 {
+		t.Fatal("durability transform issued no traversal flushes")
+	}
+	if opt.PWBsBySite["capsopt/pwb-traverse-read"] != 0 {
+		t.Fatal("Capsules-Opt flushed traversal reads")
+	}
+	if opt.PWBsBySite["capsopt/pwb-neighborhood"] == 0 {
+		t.Fatal("Capsules-Opt issued no neighborhood flushes")
+	}
+	if full.PWBs <= opt.PWBs {
+		t.Fatalf("durability transform (%d pwbs) not costlier than hand-tuned (%d)", full.PWBs, opt.PWBs)
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	for _, v := range []Variant{VariantNone, VariantOpt} {
+		t.Run(v.String(), func(t *testing.T) {
+			pool, l := newList(t, pmem.ModeFast, v)
+			const threads = 6
+			const opsPer = 300
+			type rec struct{ ins, del uint64 }
+			counts := make([]map[int64]*rec, threads)
+			var wg sync.WaitGroup
+			for tid := 1; tid <= threads; tid++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					h := l.Handle(pool.NewThread(tid))
+					rng := rand.New(rand.NewSource(int64(tid) * 31))
+					mine := map[int64]*rec{}
+					counts[tid-1] = mine
+					for i := 0; i < opsPer; i++ {
+						key := int64(rng.Intn(40)) + 1
+						r := mine[key]
+						if r == nil {
+							r = &rec{}
+							mine[key] = r
+						}
+						switch rng.Intn(3) {
+						case 0:
+							if h.Insert(key) {
+								r.ins++
+							}
+						case 1:
+							if h.Delete(key) {
+								r.del++
+							}
+						default:
+							h.Find(key)
+						}
+					}
+				}(tid)
+			}
+			wg.Wait()
+
+			boot := pool.NewThread(0)
+			if err := l.CheckInvariants(boot); err != nil {
+				t.Fatal(err)
+			}
+			present := map[int64]bool{}
+			for _, k := range l.Keys(boot) {
+				present[k] = true
+			}
+			totals := map[int64]*rec{}
+			for _, m := range counts {
+				for k, r := range m {
+					tr := totals[k]
+					if tr == nil {
+						tr = &rec{}
+						totals[k] = tr
+					}
+					tr.ins += r.ins
+					tr.del += r.del
+				}
+			}
+			for k, r := range totals {
+				net := int64(r.ins) - int64(r.del)
+				if net != 0 && net != 1 {
+					t.Fatalf("key %d: %d inserts vs %d deletes", k, r.ins, r.del)
+				}
+				if (net == 1) != present[k] {
+					t.Fatalf("key %d: net %d but present=%v", k, net, present[k])
+				}
+			}
+		})
+	}
+}
+
+// Chaos adapter.
+
+type capsThread struct{ h *Handle }
+
+func (ct capsThread) Invoke() { ct.h.Invoke() }
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (ct capsThread) Run(op chaos.Op) uint64 {
+	switch op.Kind {
+	case 0:
+		return b2u(ct.h.Insert(op.Key))
+	case 1:
+		return b2u(ct.h.Delete(op.Key))
+	default:
+		return b2u(ct.h.Find(op.Key))
+	}
+}
+
+func (ct capsThread) Recover(op chaos.Op) uint64 {
+	switch op.Kind {
+	case 0:
+		return b2u(ct.h.RecoverInsert(op.Key))
+	case 1:
+		return b2u(ct.h.RecoverDelete(op.Key))
+	default:
+		return b2u(ct.h.RecoverFind(op.Key))
+	}
+}
+
+func runCapsChaos(t *testing.T, v Variant, seed int64, threads, ops, crashes int) {
+	t.Helper()
+	pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 21, MaxThreads: threads + 2})
+	New(pool, v, threads+2, 0)
+
+	res, err := chaos.Run(chaos.Config{
+		Pool:         pool,
+		Threads:      threads,
+		OpsPerThread: ops,
+		GenOp: func(rng *rand.Rand, tid, i int) chaos.Op {
+			return chaos.Op{Kind: rng.Intn(3), Key: rng.Int63n(16) + 1}
+		},
+		Reattach: func(pool *pmem.Pool) (chaos.ThreadFactory, error) {
+			l, err := Attach(pool, v, 0)
+			if err != nil {
+				return nil, err
+			}
+			return func(tid int) (chaos.Thread, error) {
+				return capsThread{h: l.Handle(pool.NewThread(tid))}, nil
+			}, nil
+		},
+		Seed:                       seed,
+		MaxCrashes:                 crashes,
+		MeanAccessesBetweenCrashes: 700,
+		CommitProb:                 0.5,
+		EvictProb:                  0.1,
+	})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	l, err := Attach(pool, v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot := pool.NewThread(0)
+	if err := l.CheckInvariants(boot); err != nil {
+		t.Fatalf("seed %d: %v (after %d crashes)", seed, err, res.Crashes)
+	}
+	classify := func(rec chaos.OpRecord) (int64, int) {
+		if rec.Result != 1 {
+			return rec.Op.Key, 0
+		}
+		switch rec.Op.Kind {
+		case 0:
+			return rec.Op.Key, 1
+		case 1:
+			return rec.Op.Key, -1
+		default:
+			return rec.Op.Key, 0
+		}
+	}
+	if err := chaos.CheckSetAlternation(res.Logs, classify, l.Keys(boot)); err != nil {
+		t.Fatalf("seed %d: %v (after %d crashes)", seed, err, res.Crashes)
+	}
+}
+
+func TestChaosCapsulesOpt(t *testing.T) {
+	runCapsChaos(t, VariantOpt, 4, 4, 40, 6)
+}
+
+func TestChaosCapsulesFull(t *testing.T) {
+	runCapsChaos(t, VariantFull, 5, 3, 30, 4)
+}
+
+func TestChaosCapsulesManySeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long chaos sweep")
+	}
+	for seed := int64(100); seed < 120; seed++ {
+		runCapsChaos(t, VariantOpt, seed, 3, 25, 4)
+	}
+}
+
+// TestCrashAtEveryPoint sweeps crash points over a fixed script on
+// Capsules-Opt, mirroring the Tracking list's sweep: the recoverable-CAS
+// rules (fresh-node reachability for inserts, tid-stamped marks for
+// deletes) must resolve every interrupted operation exactly once.
+func TestCrashAtEveryPoint(t *testing.T) {
+	type op struct {
+		kind int
+		key  int64
+	}
+	script := []op{
+		{0, 5}, {0, 9}, {0, 5}, {2, 9}, {1, 5},
+		{0, 2}, {1, 9}, {1, 9}, {2, 2}, {0, 7}, {1, 2},
+	}
+	for _, variant := range []Variant{VariantOpt, VariantFull} {
+		rng := rand.New(rand.NewSource(77))
+		for crashAt := int64(1); ; crashAt++ {
+			if crashAt > 60000 {
+				t.Fatalf("%s: script never completed crash-free", variant)
+			}
+			pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 18, MaxThreads: 4})
+			l := New(pool, variant, 4, 0)
+			model := map[int64]bool{}
+			apply := func(o op) bool {
+				switch o.kind {
+				case 0:
+					if model[o.key] {
+						return false
+					}
+					model[o.key] = true
+					return true
+				case 1:
+					if !model[o.key] {
+						return false
+					}
+					delete(model, o.key)
+					return true
+				default:
+					return model[o.key]
+				}
+			}
+			run := func(h *Handle, o op) bool {
+				switch o.kind {
+				case 0:
+					return h.Insert(o.key)
+				case 1:
+					return h.Delete(o.key)
+				default:
+					return h.Find(o.key)
+				}
+			}
+			crashed := false
+			idx, invoked := -1, false
+			pool.SetCrashAfter(crashAt)
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if r != pmem.ErrCrashed {
+							panic(r)
+						}
+						crashed = true
+					}
+				}()
+				h := l.Handle(pool.NewThread(1))
+				for i, o := range script {
+					idx, invoked = i, false
+					h.Invoke()
+					invoked = true
+					if run(h, o) != apply(o) {
+						t.Fatalf("%s crashAt=%d op %d mismatch", variant, crashAt, i)
+					}
+				}
+			}()
+			pool.SetCrashAfter(0)
+			if !crashed {
+				break
+			}
+			pool.Crash(pmem.CrashPolicy{Rng: rng, CommitProb: 0.5, EvictProb: 0.1})
+			pool.Recover()
+			l2, err := Attach(pool, variant, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h2 := l2.Handle(pool.NewThread(1))
+			o := script[idx]
+			var got bool
+			if invoked {
+				switch o.kind {
+				case 0:
+					got = h2.RecoverInsert(o.key)
+				case 1:
+					got = h2.RecoverDelete(o.key)
+				default:
+					got = h2.RecoverFind(o.key)
+				}
+			} else {
+				got = run(h2, o)
+			}
+			if got != apply(o) {
+				t.Fatalf("%s crashAt=%d recovered op %d (%+v) = %v", variant, crashAt, idx, o, got)
+			}
+			for i := idx + 1; i < len(script); i++ {
+				if run(h2, script[i]) != apply(script[i]) {
+					t.Fatalf("%s crashAt=%d post-recovery op %d mismatch", variant, crashAt, i)
+				}
+			}
+			keys := l2.Keys(pool.NewThread(2))
+			if len(keys) != len(model) {
+				t.Fatalf("%s crashAt=%d: keys %v vs model %v", variant, crashAt, keys, model)
+			}
+			for _, k := range keys {
+				if !model[k] {
+					t.Fatalf("%s crashAt=%d: ghost key %d", variant, crashAt, k)
+				}
+			}
+			if err := l2.CheckInvariants(pool.NewThread(2)); err != nil {
+				t.Fatalf("%s crashAt=%d: %v", variant, crashAt, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package chaos is the crash-injection test harness for the recoverable
+// data structures in this repository. It implements the system model of
+// Attiya et al. (PPoPP 2022), Section 2:
+//
+//   - threads run operations concurrently on a strict-mode pmem pool;
+//   - at a random persistent-memory access a system-wide crash strikes:
+//     every thread is interrupted (it panics with pmem.ErrCrashed at its
+//     next pool access and parks), volatile state is discarded, and the
+//     adversary decides which scheduled-but-unsynced write-backs and dirty
+//     cache lines reached NVMM;
+//   - the system then resurrects the threads and calls each interrupted
+//     operation's recovery function with its original arguments — unless
+//     the crash preceded the operation's failure-atomic invocation step,
+//     in which case the operation never started and is invoked normally;
+//   - a thread may crash again while recovering ("multiple crashes while
+//     executing Op and/or Op.Recover").
+//
+// Every operation therefore resolves to exactly one response. The harness
+// records all responses; CheckSetAlternation then validates detectable
+// exactly-once execution for set semantics: for each key, successful
+// inserts and deletes must alternate, and the net count must match the
+// key's presence in the final structure.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/pmem"
+)
+
+// Op is one operation request. Kind is structure-specific; Key is its
+// argument.
+type Op struct {
+	Kind int
+	Key  int64
+}
+
+// OpRecord is a resolved operation with its response.
+type OpRecord struct {
+	Op     Op
+	Result uint64
+}
+
+// Thread is the per-thread face of a recoverable structure under test.
+type Thread interface {
+	// Invoke performs the system-side failure-atomic invocation step of
+	// the next operation (CP := 0).
+	Invoke()
+	// Run executes op to completion and returns its response.
+	Run(op Op) uint64
+	// Recover is op's recovery function: it completes or re-invokes the
+	// interrupted op and returns its response.
+	Recover(op Op) uint64
+}
+
+// ThreadFactory creates the Thread handle for a (resurrected) thread id.
+type ThreadFactory func(tid int) (Thread, error)
+
+// Config parameterizes a chaos run.
+type Config struct {
+	Pool *pmem.Pool
+	// Threads is the number of concurrent worker threads. Thread ids
+	// 1..Threads are used (0 is conventionally the setup thread).
+	Threads int
+	// OpsPerThread is each worker's operation quota.
+	OpsPerThread int
+	// GenOp produces the i-th operation of a thread.
+	GenOp func(rng *rand.Rand, tid, i int) Op
+	// Reattach rebuilds structure handles after pool recovery.
+	Reattach func(pool *pmem.Pool) (ThreadFactory, error)
+	// Seed drives op generation, crash points and the crash adversary.
+	Seed int64
+	// MaxCrashes bounds the number of injected crashes.
+	MaxCrashes int
+	// MeanAccessesBetweenCrashes controls crash frequency, measured in
+	// pool accesses across all threads.
+	MeanAccessesBetweenCrashes int
+	// CommitProb and EvictProb parameterize the crash adversary.
+	CommitProb, EvictProb float64
+}
+
+// Result reports what a chaos run did.
+type Result struct {
+	// Logs[t] holds thread t+1's resolved operations in issue order.
+	Logs [][]OpRecord
+	// Crashes is the number of crashes injected.
+	Crashes int
+}
+
+// workerState is a thread's volatile progress, owned by the harness (the
+// "system" survives crashes; the simulated thread's memory does not).
+type workerState struct {
+	ops     []Op
+	log     []OpRecord
+	idx     int
+	invoked bool // current op passed its invocation step
+}
+
+// Run executes the chaos schedule and returns the per-thread logs.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Pool.Mode() != pmem.ModeStrict {
+		return nil, fmt.Errorf("chaos: pool must be in ModeStrict")
+	}
+	if cfg.Threads <= 0 || cfg.OpsPerThread <= 0 {
+		return nil, fmt.Errorf("chaos: Threads and OpsPerThread must be positive")
+	}
+	if cfg.MeanAccessesBetweenCrashes <= 0 {
+		cfg.MeanAccessesBetweenCrashes = 2000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	policyRng := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	states := make([]*workerState, cfg.Threads)
+	for t := 0; t < cfg.Threads; t++ {
+		st := &workerState{}
+		opRng := rand.New(rand.NewSource(cfg.Seed + int64(100+t)))
+		for i := 0; i < cfg.OpsPerThread; i++ {
+			st.ops = append(st.ops, cfg.GenOp(opRng, t+1, i))
+		}
+		states[t] = st
+	}
+
+	factory, err := cfg.Reattach(cfg.Pool)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	for round := 0; ; round++ {
+		if round > cfg.MaxCrashes+1 {
+			return nil, fmt.Errorf("chaos: runaway round count (crash trigger leak?)")
+		}
+		if res.Crashes < cfg.MaxCrashes {
+			cfg.Pool.SetCrashAfter(int64(rng.Intn(2*cfg.MeanAccessesBetweenCrashes) + 1))
+		}
+
+		var wg sync.WaitGroup
+		errs := make([]error, cfg.Threads)
+		for t := 0; t < cfg.Threads; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				errs[t] = runWorker(states[t], t+1, factory)
+			}(t)
+		}
+		wg.Wait()
+		cfg.Pool.SetCrashAfter(0)
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		if !cfg.Pool.CrashPending() {
+			break
+		}
+		cfg.Pool.Crash(pmem.CrashPolicy{
+			Rng:        policyRng,
+			CommitProb: cfg.CommitProb,
+			EvictProb:  cfg.EvictProb,
+		})
+		cfg.Pool.Recover()
+		res.Crashes++
+		factory, err = cfg.Reattach(cfg.Pool)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for _, st := range states {
+		res.Logs = append(res.Logs, st.log)
+	}
+	return res, nil
+}
+
+// runWorker resumes a thread's schedule until it finishes its quota or a
+// crash parks it.
+func runWorker(st *workerState, tid int, factory ThreadFactory) (err error) {
+	if st.idx >= len(st.ops) {
+		return nil
+	}
+	th, err := factory(tid)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if r != pmem.ErrCrashed {
+				panic(r)
+			}
+			// Parked; st.idx/st.invoked already reflect the progress.
+		}
+	}()
+	for st.idx < len(st.ops) {
+		op := st.ops[st.idx]
+		var got uint64
+		if st.invoked {
+			// This op's invocation step completed before a crash:
+			// the system calls the recovery function.
+			got = th.Recover(op)
+		} else {
+			th.Invoke()
+			st.invoked = true
+			got = th.Run(op)
+		}
+		st.log = append(st.log, OpRecord{Op: op, Result: got})
+		st.idx++
+		st.invoked = false
+	}
+	return nil
+}
+
+// Classifier maps a resolved operation to a set-semantics effect:
+// delta +1 for a successful insert of key, -1 for a successful delete,
+// 0 otherwise.
+type Classifier func(rec OpRecord) (key int64, delta int)
+
+// CheckSetAlternation validates detectable exactly-once set semantics: for
+// every key, the number of successful inserts minus successful deletes must
+// be 0 or 1 and equal the key's membership in finalKeys. Any duplicated or
+// lost effect (an operation applied twice, or applied but reported failed)
+// breaks the alternation and is reported.
+func CheckSetAlternation(logs [][]OpRecord, classify Classifier, finalKeys []int64) error {
+	net := map[int64]int{}
+	ins := map[int64]int{}
+	del := map[int64]int{}
+	for _, log := range logs {
+		for _, rec := range log {
+			key, delta := classify(rec)
+			switch {
+			case delta > 0:
+				ins[key]++
+				net[key]++
+			case delta < 0:
+				del[key]++
+				net[key]--
+			}
+		}
+	}
+	present := map[int64]bool{}
+	for _, k := range finalKeys {
+		if present[k] {
+			return fmt.Errorf("chaos: key %d appears twice in the final structure", k)
+		}
+		present[k] = true
+	}
+	for k, n := range net {
+		if n != 0 && n != 1 {
+			return fmt.Errorf("chaos: key %d has %d successful inserts vs %d deletes (net %d)",
+				k, ins[k], del[k], n)
+		}
+		if (n == 1) != present[k] {
+			return fmt.Errorf("chaos: key %d net effect %d but present=%v", k, n, present[k])
+		}
+	}
+	for k := range present {
+		if net[k] != 1 {
+			return fmt.Errorf("chaos: key %d present but net effect %d", k, net[k])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,279 @@
+package chaos
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/rlist"
+)
+
+const (
+	kindInsert = iota
+	kindDelete
+	kindFind
+)
+
+type listThread struct{ h *rlist.Handle }
+
+func (lt listThread) Invoke() { lt.h.Invoke() }
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (lt listThread) Run(op Op) uint64 {
+	switch op.Kind {
+	case kindInsert:
+		return b2u(lt.h.Insert(op.Key))
+	case kindDelete:
+		return b2u(lt.h.Delete(op.Key))
+	default:
+		return b2u(lt.h.Find(op.Key))
+	}
+}
+
+func (lt listThread) Recover(op Op) uint64 {
+	switch op.Kind {
+	case kindInsert:
+		return b2u(lt.h.RecoverInsert(op.Key))
+	case kindDelete:
+		return b2u(lt.h.RecoverDelete(op.Key))
+	default:
+		return b2u(lt.h.RecoverFind(op.Key))
+	}
+}
+
+func listReattach(t *testing.T) func(pool *pmem.Pool) (ThreadFactory, error) {
+	t.Helper()
+	return func(pool *pmem.Pool) (ThreadFactory, error) {
+		l, err := rlist.Attach(pool, 0)
+		if err != nil {
+			return nil, err
+		}
+		return func(tid int) (Thread, error) {
+			return listThread{h: l.Handle(pool.NewThread(tid))}, nil
+		}, nil
+	}
+}
+
+func classifySet(rec OpRecord) (int64, int) {
+	if rec.Result != 1 {
+		return rec.Op.Key, 0
+	}
+	switch rec.Op.Kind {
+	case kindInsert:
+		return rec.Op.Key, 1
+	case kindDelete:
+		return rec.Op.Key, -1
+	default:
+		return rec.Op.Key, 0
+	}
+}
+
+func genSetOp(keyRange int64) func(rng *rand.Rand, tid, i int) Op {
+	return func(rng *rand.Rand, tid, i int) Op {
+		return Op{Kind: rng.Intn(3), Key: rng.Int63n(keyRange) + 1}
+	}
+}
+
+func runListChaos(t *testing.T, seed int64, threads, ops, crashes int) {
+	t.Helper()
+	pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 21, MaxThreads: threads + 2})
+	rlist.New(pool, threads+2, 0)
+
+	res, err := Run(Config{
+		Pool:                       pool,
+		Threads:                    threads,
+		OpsPerThread:               ops,
+		GenOp:                      genSetOp(16),
+		Reattach:                   listReattach(t),
+		Seed:                       seed,
+		MaxCrashes:                 crashes,
+		MeanAccessesBetweenCrashes: 600,
+		CommitProb:                 0.5,
+		EvictProb:                  0.1,
+	})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+
+	l, err := rlist.Attach(pool, 0)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	boot := pool.NewThread(0)
+	if err := l.CheckInvariants(boot, true); err != nil {
+		t.Fatalf("seed %d: %v (after %d crashes)", seed, err, res.Crashes)
+	}
+	if err := CheckSetAlternation(res.Logs, classifySet, l.Keys(boot)); err != nil {
+		t.Fatalf("seed %d: %v (after %d crashes)", seed, err, res.Crashes)
+	}
+}
+
+func TestChaosListNoCrashes(t *testing.T) {
+	runListChaos(t, 1, 4, 60, 0)
+}
+
+func TestChaosListWithCrashes(t *testing.T) {
+	runListChaos(t, 2, 4, 50, 6)
+}
+
+func TestChaosListManySeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long chaos sweep")
+	}
+	for seed := int64(10); seed < 40; seed++ {
+		runListChaos(t, seed, 3, 30, 4)
+	}
+}
+
+func TestChaosListSingleThreadManyCrashes(t *testing.T) {
+	for seed := int64(50); seed < 60; seed++ {
+		pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 20, MaxThreads: 4})
+		rlist.New(pool, 4, 0)
+		res, err := Run(Config{
+			Pool:                       pool,
+			Threads:                    1,
+			OpsPerThread:               40,
+			GenOp:                      genSetOp(8),
+			Reattach:                   listReattach(t),
+			Seed:                       seed,
+			MaxCrashes:                 10,
+			MeanAccessesBetweenCrashes: 120,
+			CommitProb:                 0.4,
+			EvictProb:                  0.2,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		l, err := rlist.Attach(pool, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		boot := pool.NewThread(0)
+		if err := CheckSetAlternation(res.Logs, classifySet, l.Keys(boot)); err != nil {
+			t.Fatalf("seed %d: %v (crashes %d)", seed, err, res.Crashes)
+		}
+		// Single-threaded runs are deterministic: compare against a model.
+		model := map[int64]bool{}
+		for _, rec := range res.Logs[0] {
+			var want uint64
+			switch rec.Op.Kind {
+			case kindInsert:
+				want = b2u(!model[rec.Op.Key])
+				model[rec.Op.Key] = true
+			case kindDelete:
+				want = b2u(model[rec.Op.Key])
+				delete(model, rec.Op.Key)
+			default:
+				want = b2u(model[rec.Op.Key])
+			}
+			if rec.Result != want {
+				t.Fatalf("seed %d: op %+v returned %d, model says %d", seed, rec.Op, rec.Result, want)
+			}
+		}
+	}
+}
+
+func TestCheckSetAlternationCatchesDuplicates(t *testing.T) {
+	logs := [][]OpRecord{{
+		{Op: Op{Kind: kindInsert, Key: 3}, Result: 1},
+		{Op: Op{Kind: kindInsert, Key: 3}, Result: 1}, // applied twice: bug
+	}}
+	if err := CheckSetAlternation(logs, classifySet, []int64{3}); err == nil {
+		t.Fatal("duplicate successful insert not detected")
+	}
+}
+
+func TestCheckSetAlternationCatchesLostEffect(t *testing.T) {
+	logs := [][]OpRecord{{
+		{Op: Op{Kind: kindInsert, Key: 4}, Result: 1},
+	}}
+	// Insert succeeded but the key is not in the final structure.
+	if err := CheckSetAlternation(logs, classifySet, nil); err == nil {
+		t.Fatal("lost insert not detected")
+	}
+}
+
+func TestCheckSetAlternationCatchesGhostKey(t *testing.T) {
+	if err := CheckSetAlternation(nil, classifySet, []int64{9}); err == nil {
+		t.Fatal("ghost key not detected")
+	}
+}
+
+func TestCheckSetAlternationAcceptsValidHistory(t *testing.T) {
+	logs := [][]OpRecord{
+		{
+			{Op: Op{Kind: kindInsert, Key: 1}, Result: 1},
+			{Op: Op{Kind: kindDelete, Key: 1}, Result: 1},
+			{Op: Op{Kind: kindInsert, Key: 2}, Result: 1},
+		},
+		{
+			{Op: Op{Kind: kindInsert, Key: 1}, Result: 1},
+			{Op: Op{Kind: kindFind, Key: 2}, Result: 1},
+			{Op: Op{Kind: kindInsert, Key: 2}, Result: 0},
+		},
+	}
+	if err := CheckSetAlternation(logs, classifySet, []int64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	strict := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 12, MaxThreads: 2})
+	fast := pmem.New(pmem.Config{Mode: pmem.ModeFast, CapacityWords: 1 << 12, MaxThreads: 2})
+	re := func(pool *pmem.Pool) (ThreadFactory, error) {
+		return func(tid int) (Thread, error) { return nil, nil }, nil
+	}
+	cases := []Config{
+		{Pool: fast, Threads: 1, OpsPerThread: 1, Reattach: re,
+			GenOp: func(rng *rand.Rand, tid, i int) Op { return Op{} }}, // wrong mode
+		{Pool: strict, Threads: 0, OpsPerThread: 1, Reattach: re,
+			GenOp: func(rng *rand.Rand, tid, i int) Op { return Op{} }}, // no threads
+		{Pool: strict, Threads: 1, OpsPerThread: 0, Reattach: re,
+			GenOp: func(rng *rand.Rand, tid, i int) Op { return Op{} }}, // no ops
+	}
+	for i, cfg := range cases {
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+// TestLogsCompleteAndOrdered checks that every scheduled op resolves
+// exactly once, in issue order, even across crashes.
+func TestLogsCompleteAndOrdered(t *testing.T) {
+	pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 20, MaxThreads: 5})
+	rlist.New(pool, 5, 0)
+	const threads, ops = 3, 25
+	res, err := Run(Config{
+		Pool: pool, Threads: threads, OpsPerThread: ops,
+		GenOp:    genSetOp(8),
+		Reattach: listReattach(t),
+		Seed:     7, MaxCrashes: 4, MeanAccessesBetweenCrashes: 500,
+		CommitProb: 0.5, EvictProb: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Logs) != threads {
+		t.Fatalf("%d logs for %d threads", len(res.Logs), threads)
+	}
+	for tid, log := range res.Logs {
+		if len(log) != ops {
+			t.Fatalf("thread %d resolved %d ops, want %d", tid+1, len(log), ops)
+		}
+		// The log must replay the thread's deterministic op sequence.
+		rng := rand.New(rand.NewSource(7 + int64(100+tid)))
+		for i, rec := range log {
+			want := genSetOp(8)(rng, tid+1, i)
+			if rec.Op != want {
+				t.Fatalf("thread %d op %d = %+v, want %+v", tid+1, i, rec.Op, want)
+			}
+		}
+	}
+}

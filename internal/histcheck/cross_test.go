@@ -1,0 +1,86 @@
+package histcheck
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/capsules"
+	"repro/internal/pmem"
+	"repro/internal/rbst"
+	"repro/internal/rhash"
+)
+
+// runner is the uniform per-thread face the history recorder drives.
+type runner interface {
+	Insert(key int64) bool
+	Delete(key int64) bool
+	Find(key int64) bool
+}
+
+// recordHistories runs a small concurrent workload over make's structure
+// and checks every recorded history for linearizability.
+func recordHistories(t *testing.T, name string, seeds int, make func(pool *pmem.Pool) func(tid int) runner) {
+	t.Helper()
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		pool := pmem.New(pmem.Config{Mode: pmem.ModeFast, CapacityWords: 1 << 20, MaxThreads: 8})
+		factory := make(pool)
+		var rec Recorder
+		const threads = 3
+		const opsPer = 20
+		var mu sync.Mutex
+		var hist []Op
+		var wg sync.WaitGroup
+		for tid := 1; tid <= threads; tid++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				r := factory(tid)
+				rng := rand.New(rand.NewSource(seed*1000 + int64(tid)))
+				for i := 0; i < opsPer; i++ {
+					key := int64(rng.Intn(6)) + 1
+					kind := Kind(rng.Intn(3))
+					start := rec.Now()
+					var res bool
+					switch kind {
+					case Insert:
+						res = r.Insert(key)
+					case Delete:
+						res = r.Delete(key)
+					default:
+						res = r.Find(key)
+					}
+					end := rec.Now()
+					mu.Lock()
+					hist = append(hist, Op{kind, key, res, start, end})
+					mu.Unlock()
+				}
+			}(tid)
+		}
+		wg.Wait()
+		if err := CheckSet(hist); err != nil {
+			t.Fatalf("%s seed %d: %v", name, seed, err)
+		}
+	}
+}
+
+func TestBSTHistoriesLinearizable(t *testing.T) {
+	recordHistories(t, "rbst", 6, func(pool *pmem.Pool) func(tid int) runner {
+		tr := rbst.New(pool, 8, 0)
+		return func(tid int) runner { return tr.Handle(pool.NewThread(tid)) }
+	})
+}
+
+func TestCapsulesOptHistoriesLinearizable(t *testing.T) {
+	recordHistories(t, "capsules-opt", 6, func(pool *pmem.Pool) func(tid int) runner {
+		l := capsules.New(pool, capsules.VariantOpt, 8, 0)
+		return func(tid int) runner { return l.Handle(pool.NewThread(tid)) }
+	})
+}
+
+func TestHashHistoriesLinearizable(t *testing.T) {
+	recordHistories(t, "rhash", 6, func(pool *pmem.Pool) func(tid int) runner {
+		m := rhash.New(pool, 4, 8, 0)
+		return func(tid int) runner { return m.Handle(pool.NewThread(tid)) }
+	})
+}

@@ -1,0 +1,151 @@
+// Package histcheck is a linearizability checker for concurrent set
+// histories, in the style of Wing & Gong's exhaustive search with Lowe's
+// state-memoization. It is used by the test suites to validate small
+// concurrent (non-crash) executions of the recoverable sets against the
+// sequential set specification, complementing the per-key alternation
+// oracle of the chaos harness.
+//
+// Histories are bounded: at most 64 operations and 64 distinct keys per
+// check, which lets both the pending-operation set and the abstract set
+// state live in single machine words for memoization.
+package histcheck
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Kind is a set operation type.
+type Kind int
+
+// Set operation kinds.
+const (
+	Insert Kind = iota
+	Delete
+	Find
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Insert:
+		return "Insert"
+	case Delete:
+		return "Delete"
+	default:
+		return "Find"
+	}
+}
+
+// Op is one completed operation with its observed response and its
+// real-time invocation/response order stamps.
+type Op struct {
+	Kind   Kind
+	Key    int64
+	Result bool
+	Invoke int64 // timestamp taken just before the operation started
+	Return int64 // timestamp taken just after it returned
+}
+
+// MaxOps bounds the history size per check.
+const MaxOps = 64
+
+// CheckSet reports whether the history is linearizable with respect to the
+// sequential set specification (Insert returns true iff the key was absent;
+// Delete true iff present; Find reports membership). A nil error means a
+// valid linearization exists.
+func CheckSet(ops []Op) error {
+	n := len(ops)
+	if n == 0 {
+		return nil
+	}
+	if n > MaxOps {
+		return fmt.Errorf("histcheck: history of %d ops exceeds the %d-op limit", n, MaxOps)
+	}
+	// Map keys to bit positions.
+	keyBit := map[int64]uint{}
+	for _, o := range ops {
+		if _, ok := keyBit[o.Key]; !ok {
+			if len(keyBit) == 64 {
+				return fmt.Errorf("histcheck: more than 64 distinct keys")
+			}
+			keyBit[o.Key] = uint(len(keyBit))
+		}
+	}
+	// Order by invocation for a deterministic search order.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ops[idx[a]].Invoke < ops[idx[b]].Invoke })
+
+	type memoKey struct {
+		remaining uint64
+		state     uint64
+	}
+	failed := map[memoKey]bool{}
+
+	allRemaining := uint64(1)<<uint(n) - 1
+	var dfs func(remaining, state uint64) bool
+	dfs = func(remaining, state uint64) bool {
+		if remaining == 0 {
+			return true
+		}
+		mk := memoKey{remaining, state}
+		if failed[mk] {
+			return false
+		}
+		// The earliest return among remaining ops bounds which ops may
+		// linearize first: an op can go first only if it was invoked
+		// before every remaining op's return.
+		minReturn := int64(1<<63 - 1)
+		for _, i := range idx {
+			if remaining&(1<<uint(i)) != 0 && ops[i].Return < minReturn {
+				minReturn = ops[i].Return
+			}
+		}
+		for _, i := range idx {
+			if remaining&(1<<uint(i)) == 0 {
+				continue
+			}
+			o := &ops[i]
+			if o.Invoke > minReturn {
+				continue // some remaining op returned before this one started
+			}
+			bit := uint64(1) << keyBit[o.Key]
+			present := state&bit != 0
+			var want bool
+			next := state
+			switch o.Kind {
+			case Insert:
+				want = !present
+				next |= bit
+			case Delete:
+				want = present
+				next &^= bit
+			default:
+				want = present
+			}
+			if o.Result != want {
+				continue
+			}
+			if dfs(remaining&^(1<<uint(i)), next) {
+				return true
+			}
+		}
+		failed[mk] = true
+		return false
+	}
+	if !dfs(allRemaining, 0) {
+		return fmt.Errorf("histcheck: no valid linearization for %d-op history", n)
+	}
+	return nil
+}
+
+// Recorder hands out globally ordered timestamps for building histories.
+type Recorder struct {
+	clock atomic.Int64
+}
+
+// Now returns the next timestamp.
+func (r *Recorder) Now() int64 { return r.clock.Add(1) }

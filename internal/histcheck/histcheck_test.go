@@ -1,0 +1,128 @@
+package histcheck
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/rlist"
+)
+
+func TestEmptyHistory(t *testing.T) {
+	if err := CheckSet(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialValid(t *testing.T) {
+	ops := []Op{
+		{Insert, 1, true, 1, 2},
+		{Find, 1, true, 3, 4},
+		{Delete, 1, true, 5, 6},
+		{Find, 1, false, 7, 8},
+		{Delete, 1, false, 9, 10},
+	}
+	if err := CheckSet(ops); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialInvalid(t *testing.T) {
+	ops := []Op{
+		{Insert, 1, true, 1, 2},
+		{Find, 1, false, 3, 4}, // must see key 1
+	}
+	if err := CheckSet(ops); err == nil {
+		t.Fatal("accepted a non-linearizable history")
+	}
+}
+
+func TestConcurrentReorderingAllowed(t *testing.T) {
+	// Find overlaps the insert: both answers are valid, pick false.
+	ops := []Op{
+		{Insert, 1, true, 1, 4},
+		{Find, 1, false, 2, 3},
+	}
+	if err := CheckSet(ops); err != nil {
+		t.Fatal(err)
+	}
+	// And true as well.
+	ops[1].Result = true
+	if err := CheckSet(ops); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealTimeOrderEnforced(t *testing.T) {
+	// The find starts strictly after the insert returned: it must see it.
+	ops := []Op{
+		{Insert, 1, true, 1, 2},
+		{Find, 1, false, 5, 6},
+	}
+	if err := CheckSet(ops); err == nil {
+		t.Fatal("accepted stale read after real-time order")
+	}
+}
+
+func TestDuplicateInsertInvalid(t *testing.T) {
+	ops := []Op{
+		{Insert, 7, true, 1, 2},
+		{Insert, 7, true, 3, 4}, // second must return false
+	}
+	if err := CheckSet(ops); err == nil {
+		t.Fatal("accepted double successful insert")
+	}
+}
+
+func TestTooLargeHistory(t *testing.T) {
+	ops := make([]Op, MaxOps+1)
+	if err := CheckSet(ops); err == nil {
+		t.Fatal("accepted oversized history")
+	}
+}
+
+// TestRlistHistoriesLinearizable records real concurrent histories from the
+// Tracking linked list and checks them.
+func TestRlistHistoriesLinearizable(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		pool := pmem.New(pmem.Config{Mode: pmem.ModeFast, CapacityWords: 1 << 20, MaxThreads: 8})
+		l := rlist.New(pool, 8, 0)
+		var rec Recorder
+		const threads = 3
+		const opsPer = 20
+		var mu sync.Mutex
+		var hist []Op
+		var wg sync.WaitGroup
+		for tid := 1; tid <= threads; tid++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				h := l.Handle(pool.NewThread(tid))
+				rng := rand.New(rand.NewSource(seed*100 + int64(tid)))
+				for i := 0; i < opsPer; i++ {
+					key := int64(rng.Intn(6)) + 1
+					kind := Kind(rng.Intn(3))
+					start := rec.Now()
+					var res bool
+					switch kind {
+					case Insert:
+						res = h.Insert(key)
+					case Delete:
+						res = h.Delete(key)
+					default:
+						res = h.Find(key)
+					}
+					end := rec.Now()
+					mu.Lock()
+					hist = append(hist, Op{kind, key, res, start, end})
+					mu.Unlock()
+				}
+			}(tid)
+		}
+		wg.Wait()
+		if err := CheckSet(hist); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package pmem
+
+import (
+	"math/rand"
+	"sync/atomic"
+)
+
+// CrashPolicy controls the adversarial choices a crash makes about which
+// scheduled-but-unsynced write-backs completed before the failure, and
+// which dirty lines were written back by cache eviction.
+type CrashPolicy struct {
+	// Rng drives the adversary. Nil means a deterministic worst case:
+	// no un-synced write-back completed and nothing was evicted.
+	Rng *rand.Rand
+	// CommitProb is the probability that each write-back in the cut
+	// epoch completed.
+	CommitProb float64
+	// EvictProb is the probability that each dirty line was written back
+	// by eviction (with its content at crash time).
+	EvictProb float64
+}
+
+// Crash resolves a triggered crash: volatile state is discarded and the
+// durable view is finalized under the policy's adversarial choices. Every
+// thread must be parked (it has panicked with ErrCrashed or is otherwise
+// guaranteed not to touch the pool). Only meaningful in ModeStrict.
+//
+// The persistency model constrains the adversary: a thread's un-synced
+// write-backs complete in an order consistent with its fences, so the set
+// of completed write-backs is, per thread, all epochs before some cut
+// point, plus an arbitrary subset of the epoch at the cut.
+func (p *Pool) Crash(pol CrashPolicy) {
+	if p.mode != ModeStrict {
+		panic("pmem: Crash requires ModeStrict")
+	}
+	if p.crashFlag.Load() == 0 {
+		panic("pmem: Crash without TriggerCrash")
+	}
+	p.mu.Lock()
+	ctxs := append([]*ThreadCtx(nil), p.ctxs...)
+	p.mu.Unlock()
+
+	// Evictions happen first: under TSO with ordered flushes, a store can
+	// only reach the cache (and thus be evicted to NVMM) after the write-
+	// backs its thread fenced before it have completed, so evicting a line
+	// forces completion of its last writer's scheduled write-backs.
+	if pol.Rng != nil && pol.EvictProb > 0 {
+		p.evictDirty(ctxs, pol)
+	}
+	for _, ctx := range ctxs {
+		p.crashThread(ctx, pol)
+	}
+}
+
+// crashThread commits an adversarially chosen, fence-consistent prefix of
+// one thread's pending write-backs and discards the rest.
+func (p *Pool) crashThread(ctx *ThreadCtx, pol CrashPolicy) {
+	pending := ctx.pending
+	ctx.pending = nil
+	if len(pending) == 0 {
+		return
+	}
+	if pol.Rng == nil {
+		return // worst case: nothing completed
+	}
+	// Split into epochs at fence markers.
+	var epochs [][]wbEntry
+	start := 0
+	for i := range pending {
+		if pending[i].fence {
+			epochs = append(epochs, pending[start:i])
+			start = i + 1
+		}
+	}
+	epochs = append(epochs, pending[start:])
+	cut := pol.Rng.Intn(len(epochs) + 1)
+	for e := 0; e < cut && e < len(epochs); e++ {
+		for i := range epochs[e] {
+			p.commitLine(&epochs[e][i])
+		}
+	}
+	if cut < len(epochs) {
+		for i := range epochs[cut] {
+			if pol.Rng.Float64() < pol.CommitProb {
+				p.commitLine(&epochs[cut][i])
+			}
+		}
+	}
+}
+
+// evictDirty models cache eviction: each dirty line may have been written
+// back with its content at crash time. Evicting a line first completes the
+// scheduled write-backs of the line's last writer, because that thread's
+// evicted store could only have reached the cache after its earlier fenced
+// flushes completed (sfence ordering on the modelled hardware).
+func (p *Pool) evictDirty(ctxs []*ThreadCtx, pol CrashPolicy) {
+	limit := (int(p.allocWords.Load()) + LineWords - 1) / LineWords
+	for line := 0; line < limit && line < len(p.dirty); line++ {
+		if atomic.LoadUint32(&p.dirty[line]) == 0 {
+			continue
+		}
+		if pol.Rng.Float64() >= pol.EvictProb {
+			continue
+		}
+		if w := atomic.LoadInt32(&p.writer[line]); w != 0 {
+			for _, ctx := range ctxs {
+				if ctx.tid == int(w-1) {
+					ctx.commitPending()
+				}
+			}
+		}
+		var e wbEntry
+		e.line = line
+		base := line * LineWords
+		for i := 0; i < LineWords; i++ {
+			e.vers[i] = atomic.LoadUint64(&p.wver[base+i])
+			e.vals[i] = atomic.LoadUint64(&p.words[base+i])
+		}
+		p.commitLine(&e)
+	}
+}
+
+// Recover reinitializes the volatile view from the durable view after a
+// Crash and re-arms the pool for the recovered execution. Thread contexts
+// created before the crash are dead; recovery code must create fresh ones
+// (the system resurrects threads, Section 2).
+func (p *Pool) Recover() {
+	if p.mode != ModeStrict {
+		panic("pmem: Recover requires ModeStrict")
+	}
+	limit := int(p.allocWords.Load())
+	for wi := 0; wi < limit; wi++ {
+		atomic.StoreUint64(&p.words[wi], atomic.LoadUint64(&p.durable[wi]))
+		atomic.StoreUint64(&p.wver[wi], atomic.LoadUint64(&p.dver[wi]))
+	}
+	for line := range p.dirty {
+		atomic.StoreUint32(&p.dirty[line], 0)
+	}
+	p.mu.Lock()
+	// Pre-crash contexts are dead. Keep their counters out of future
+	// snapshots by detaching them; their pendings were consumed by Crash.
+	p.ctxs = nil
+	p.mu.Unlock()
+	p.crashFlag.Store(0)
+}

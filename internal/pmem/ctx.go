@@ -1,0 +1,361 @@
+package pmem
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// wbEntry is one scheduled (not yet completed) write-back in ModeStrict.
+// It captures the content of a cache line at PWB time; per the persistency
+// model, the write-back completes somewhere between the PWB and the next
+// PSync, and the captured versions let the commit respect per-location
+// program order.
+type wbEntry struct {
+	line  int
+	fence bool // a fence marker rather than a write-back
+	vals  [LineWords]uint64
+	vers  [LineWords]uint64
+}
+
+// ThreadCtx is a per-thread handle on a Pool. All persistent-memory
+// operations of a simulated thread go through its ThreadCtx; a ThreadCtx
+// must not be used concurrently from multiple goroutines.
+type ThreadCtx struct {
+	pool *Pool
+	tid  int
+
+	pending []wbEntry // ModeStrict: scheduled, un-synced write-backs
+
+	localOff, localEnd int // per-thread allocation chunk, in words
+
+	// Counters. They are written only by the owning thread but read by
+	// Stats snapshots while the run is in flight, hence the atomics.
+	pwbPerSite []atomic.Uint64
+	pwbTotal   atomic.Uint64
+	psyncs     atomic.Uint64
+	pfences    atomic.Uint64
+	spun       atomic.Uint64 // total simulated spin units charged
+}
+
+// NewThread creates the ThreadCtx for thread id tid. Ids must be unique and
+// in [0, MaxThreads); reusing an id after a crash (re-creating the thread)
+// is allowed once the previous ctx is abandoned.
+func (p *Pool) NewThread(tid int) *ThreadCtx {
+	if tid < 0 {
+		panic(fmt.Sprintf("pmem: negative thread id %d", tid))
+	}
+	ctx := &ThreadCtx{pool: p, tid: tid}
+	p.mu.Lock()
+	ctx.pwbPerSite = make([]atomic.Uint64, len(p.sites))
+	p.ctxs = append(p.ctxs, ctx)
+	p.mu.Unlock()
+	return ctx
+}
+
+// TID returns the thread id of this context.
+func (ctx *ThreadCtx) TID() int { return ctx.tid }
+
+// Pool returns the pool this context operates on.
+func (ctx *ThreadCtx) Pool() *Pool { return ctx.pool }
+
+// AllocWords allocates n fresh zeroed words and returns their address.
+// Freshly allocated memory is zero in both the volatile and durable views.
+func (ctx *ThreadCtx) AllocWords(n int) Addr {
+	ctx.pool.checkCrash()
+	return ctx.pool.alloc(n)
+}
+
+// AllocLines allocates n whole cache lines, line-aligned, for
+// thread-private persistent variables.
+func (ctx *ThreadCtx) AllocLines(n int) Addr {
+	ctx.pool.checkCrash()
+	return ctx.pool.allocLines(n)
+}
+
+// localChunkWords is the refill size of the per-thread allocation cache.
+const localChunkWords = 1024
+
+// AllocLocal allocates n fresh zeroed words from a per-thread chunk. Like a
+// real NVMM allocator with thread-local arenas, it keeps freshly allocated
+// objects of different threads in different cache lines, so flushing
+// not-yet-shared data stays cheap (one of the paper's Low-impact pwb
+// classes). n must not exceed the chunk size.
+func (ctx *ThreadCtx) AllocLocal(n int) Addr {
+	ctx.pool.checkCrash()
+	if n > localChunkWords {
+		return ctx.pool.alloc(n)
+	}
+	if ctx.localOff+n > ctx.localEnd {
+		a := ctx.pool.allocLines(localChunkWords / LineWords)
+		ctx.localOff = int(a / WordSize)
+		ctx.localEnd = ctx.localOff + localChunkWords
+	}
+	a := Addr(ctx.localOff * WordSize)
+	ctx.localOff += n
+	return a
+}
+
+// Load atomically reads the word at a from the volatile view.
+func (ctx *ThreadCtx) Load(a Addr) uint64 {
+	p := ctx.pool
+	p.checkCrash()
+	return atomic.LoadUint64(&p.words[p.wordIndex(a)])
+}
+
+// Store atomically writes v to the word at a in the volatile view and marks
+// its line dirty. The write becomes durable only after a PWB of its line
+// completes (or the line is evicted).
+func (ctx *ThreadCtx) Store(a Addr, v uint64) {
+	p := ctx.pool
+	p.checkCrash()
+	wi := p.wordIndex(a)
+	atomic.StoreUint64(&p.words[wi], v)
+	if p.mode == ModeStrict {
+		ctx.markWrite(wi)
+	}
+}
+
+// markWrite records strict-mode write metadata: a fresh version, the dirty
+// bit, and the writing thread (evictions must respect its fences).
+func (ctx *ThreadCtx) markWrite(wi int) {
+	p := ctx.pool
+	atomic.AddUint64(&p.wver[wi], 1)
+	atomic.StoreUint32(&p.dirty[wi/LineWords], 1)
+	atomic.StoreInt32(&p.writer[wi/LineWords], int32(ctx.tid+1))
+}
+
+// StoreDurable models a system-level failure-atomic persistent store: the
+// word is written and made durable as a single indivisible action (either
+// the crash precedes it entirely or the new value is durable). The paper's
+// crash-recovery model needs one such primitive: the system's reset of the
+// per-thread check-point CP to 0, performed atomically with an operation's
+// invocation (Section 2 and footnote 1 — detectable algorithms require
+// system support). It is not available to algorithm code, which must use
+// Store/PWB/PSync.
+func (ctx *ThreadCtx) StoreDurable(s Site, a Addr, v uint64) {
+	p := ctx.pool
+	p.checkCrash()
+	wi := p.wordIndex(a)
+	atomic.StoreUint64(&p.words[wi], v)
+	switch p.mode {
+	case ModeStrict:
+		atomic.StoreUint32(&p.dirty[wi/LineWords], 1)
+		atomic.StoreInt32(&p.writer[wi/LineWords], int32(ctx.tid+1))
+		ver := atomic.AddUint64(&p.wver[wi], 1)
+		for {
+			dv := atomic.LoadUint64(&p.dver[wi])
+			if ver <= dv {
+				break
+			}
+			if atomic.CompareAndSwapUint64(&p.dver[wi], dv, ver) {
+				atomic.StoreUint64(&p.durable[wi], v)
+				break
+			}
+		}
+	case ModeFast:
+		ctx.chargePWB(wi / LineWords)
+	}
+	if p.siteEnabled(s) {
+		ctx.countPWB(s)
+	}
+}
+
+// CAS atomically compares-and-swaps the word at a and reports success.
+func (ctx *ThreadCtx) CAS(a Addr, old, new uint64) bool {
+	p := ctx.pool
+	p.checkCrash()
+	wi := p.wordIndex(a)
+	ok := atomic.CompareAndSwapUint64(&p.words[wi], old, new)
+	if ok && p.mode == ModeStrict {
+		ctx.markWrite(wi)
+	}
+	return ok
+}
+
+// CASV is CAS that additionally returns the value observed when the CAS
+// fails (the `res` of Algorithm 2 line 35). On success prev == old.
+func (ctx *ThreadCtx) CASV(a Addr, old, new uint64) (prev uint64, ok bool) {
+	p := ctx.pool
+	p.checkCrash()
+	wi := p.wordIndex(a)
+	for {
+		cur := atomic.LoadUint64(&p.words[wi])
+		if cur != old {
+			return cur, false
+		}
+		if atomic.CompareAndSwapUint64(&p.words[wi], old, new) {
+			if p.mode == ModeStrict {
+				ctx.markWrite(wi)
+			}
+			return old, true
+		}
+	}
+}
+
+// PWB schedules a persistent write-back of the cache line containing a.
+// The site identifies the issuing code line for the paper's per-site
+// accounting; a disabled site makes the PWB a no-op (the "code line
+// removed" experiments).
+func (ctx *ThreadCtx) PWB(s Site, a Addr) {
+	p := ctx.pool
+	p.checkCrash()
+	if !p.siteEnabled(s) {
+		return
+	}
+	ctx.countPWB(s)
+	wi := p.wordIndex(a)
+	line := wi / LineWords
+	switch p.mode {
+	case ModeStrict:
+		ctx.captureLine(line)
+	case ModeFast:
+		ctx.chargePWB(line)
+	}
+}
+
+// PWBRange issues the PWBs needed to write back words [a, a+words*8), one
+// per cache line covered. It models flushing a freshly initialized object.
+func (ctx *ThreadCtx) PWBRange(s Site, a Addr, words int) {
+	if words <= 0 {
+		return
+	}
+	p := ctx.pool
+	p.checkCrash()
+	if !p.siteEnabled(s) {
+		return
+	}
+	first := p.wordIndex(a) / LineWords
+	last := p.wordIndex(a+Addr((words-1)*WordSize)) / LineWords
+	for line := first; line <= last; line++ {
+		ctx.countPWB(s)
+		switch p.mode {
+		case ModeStrict:
+			ctx.captureLine(line)
+		case ModeFast:
+			ctx.chargePWB(line)
+		}
+	}
+}
+
+// captureLine snapshots the current volatile content and versions of a line
+// as a scheduled write-back.
+func (ctx *ThreadCtx) captureLine(line int) {
+	p := ctx.pool
+	e := wbEntry{line: line}
+	base := line * LineWords
+	for i := 0; i < LineWords; i++ {
+		// Read the version first: pairing (v, ver) where ver is the
+		// version of some write no later than the value read keeps
+		// durable versions conservative (a commit never claims a
+		// newer version than the value it writes).
+		e.vers[i] = atomic.LoadUint64(&p.wver[base+i])
+		e.vals[i] = atomic.LoadUint64(&p.words[base+i])
+	}
+	ctx.pending = append(ctx.pending, e)
+}
+
+// chargePWB performs the ModeFast cost accounting for a write-back of line.
+// It touches shared per-line metadata (real contention) and spins in
+// proportion to the line's flush heat.
+func (ctx *ThreadCtx) chargePWB(line int) {
+	p := ctx.pool
+	m := atomic.LoadUint64(&p.lineMeta[line])
+	last := int(m & 0xffffffff)
+	heat := int(m >> 32)
+	if last != ctx.tid+1 {
+		if heat < p.cost.MaxHeat {
+			heat++
+		}
+	} else if heat > 0 {
+		heat--
+	}
+	atomic.StoreUint64(&p.lineMeta[line], uint64(heat)<<32|uint64(ctx.tid+1))
+	n := p.cost.PWBBase + heat*p.cost.PWBHeatUnit
+	spin(n)
+	ctx.spun.Add(uint64(n))
+}
+
+// PFence orders the thread's preceding PWBs before its subsequent PWBs.
+func (ctx *ThreadCtx) PFence() {
+	p := ctx.pool
+	p.checkCrash()
+	if !p.psyncEnabled.Load() {
+		return
+	}
+	ctx.pfences.Add(1)
+	if p.mode == ModeStrict {
+		ctx.pending = append(ctx.pending, wbEntry{fence: true})
+	}
+	// ModeFast: fences are free; on the modelled hardware every CAS
+	// already serializes outstanding stores (paper Section 5, finding 1).
+}
+
+// PSync waits until all of the thread's scheduled write-backs complete.
+// After PSync returns, every preceding PWB of this thread is durable.
+func (ctx *ThreadCtx) PSync() {
+	p := ctx.pool
+	p.checkCrash()
+	if !p.psyncEnabled.Load() {
+		// The "no psync" experiments remove the instruction from the
+		// code; in ModeStrict we still commit pending write-backs so
+		// that correctness tests cannot be run in a silently broken
+		// configuration (the flag is a benchmarking device).
+		if p.mode == ModeStrict {
+			ctx.commitPending()
+		}
+		return
+	}
+	ctx.psyncs.Add(1)
+	switch p.mode {
+	case ModeStrict:
+		ctx.commitPending()
+	case ModeFast:
+		spin(p.cost.PSyncCost)
+		ctx.spun.Add(uint64(p.cost.PSyncCost))
+	}
+}
+
+// commitPending completes every scheduled write-back of this thread.
+func (ctx *ThreadCtx) commitPending() {
+	p := ctx.pool
+	for i := range ctx.pending {
+		e := &ctx.pending[i]
+		if !e.fence {
+			p.commitLine(e)
+		}
+	}
+	ctx.pending = ctx.pending[:0]
+}
+
+// commitLine writes a captured line snapshot to the durable view, skipping
+// any word for which a newer version is already durable (per-location
+// write-backs preserve program order).
+func (p *Pool) commitLine(e *wbEntry) {
+	base := e.line * LineWords
+	for i := 0; i < LineWords; i++ {
+		wi := base + i
+		ver := e.vers[i]
+		for {
+			dv := atomic.LoadUint64(&p.dver[wi])
+			if ver <= dv {
+				break
+			}
+			if atomic.CompareAndSwapUint64(&p.dver[wi], dv, ver) {
+				atomic.StoreUint64(&p.durable[wi], e.vals[i])
+				break
+			}
+		}
+	}
+}
+
+// PendingWritebacks reports how many write-backs this thread has scheduled
+// but not yet synced (ModeStrict diagnostics).
+func (ctx *ThreadCtx) PendingWritebacks() int {
+	n := 0
+	for i := range ctx.pending {
+		if !ctx.pending[i].fence {
+			n++
+		}
+	}
+	return n
+}

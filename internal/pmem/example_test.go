@@ -1,0 +1,31 @@
+package pmem_test
+
+import (
+	"fmt"
+
+	"repro/internal/pmem"
+)
+
+// Example demonstrates the epoch-persistency contract: a store becomes
+// durable only after its cache line's write-back is drained.
+func Example() {
+	pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 12, MaxThreads: 1})
+	ctx := pool.NewThread(0)
+	site := pool.RegisterSite("example/pwb")
+
+	a := ctx.AllocWords(1)
+	b := ctx.AllocWords(1)
+
+	ctx.Store(a, 1) // flushed and drained: survives
+	ctx.PWB(site, a)
+	ctx.PSync()
+	ctx.Store(b, 2) // never flushed: lost in the worst case
+
+	pool.TriggerCrash()
+	pool.Crash(pmem.CrashPolicy{}) // worst-case adversary
+	pool.Recover()
+
+	ctx2 := pool.NewThread(0)
+	fmt.Println(ctx2.Load(a), ctx2.Load(b))
+	// Output: 1 0
+}

@@ -1,0 +1,313 @@
+// Package pmem simulates byte-addressable non-volatile main memory (NVMM)
+// with volatile caches under the explicit epoch persistency model of
+// Izraelevitz et al., as assumed by Attiya et al., "Detectable Recovery of
+// Lock-Free Data Structures" (PPoPP 2022), Section 2.
+//
+// A Pool is a word-addressed arena with two views:
+//
+//   - the volatile view, which threads read and write with atomic Load,
+//     Store and CAS operations (this models CPU caches and registers), and
+//   - the durable view, which survives a simulated system-wide crash
+//     (this models the NVMM media).
+//
+// Writes reach the durable view only through explicit persistent
+// write-backs: PWB schedules a write-back of the 64-byte cache line
+// containing an address, PFence orders preceding PWBs before subsequent
+// ones, and PSync waits until all of the calling thread's scheduled
+// write-backs have completed. A dirty line may also be written back at any
+// time by cache eviction; the crash adversary models this.
+//
+// The pool runs in one of two modes:
+//
+//   - ModeStrict maintains the durable view precisely and supports Crash
+//     and Recover with an adversarial choice of which un-synced write-backs
+//     completed. It is used by the correctness and crash-injection tests.
+//   - ModeFast skips the durable view and instead charges each persistence
+//     instruction a simulated cost: a PWB performs real shared-memory work
+//     on per-line metadata and spins proportionally to the line's observed
+//     "flush heat" (how many distinct threads recently wrote or flushed
+//     it), while PSync and PFence are nearly free. This reproduces the
+//     persistence-cost behaviour the paper measures on Intel Optane:
+//     flushes of private or freshly allocated lines are cheap, flushes of
+//     shared contended lines are expensive, and fences are negligible
+//     because CAS already drains the store buffer.
+//
+// Every PWB call site in an algorithm registers a Site. Per-site counters
+// and per-site enable/disable switches implement the paper's experimental
+// methodology (Section 5): measuring the impact of each pwb code line,
+// classifying the lines into Low/Medium/High impact categories, and
+// re-running with categories removed.
+package pmem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Addr is a byte offset into a Pool. Valid addresses are 8-byte aligned and
+// non-zero, so the three low bits are available for tags (the Tracking
+// algorithms use bit 0 to tag descriptor pointers). Null (0) is the nil
+// reference.
+type Addr uint64
+
+// Null is the nil persistent reference. Word 0 of every pool is reserved so
+// that no valid allocation has address 0.
+const Null Addr = 0
+
+// WordSize is the size in bytes of one pool word.
+const WordSize = 8
+
+// LineWords is the number of words in one simulated cache line (64 bytes).
+const LineWords = 8
+
+// LineBytes is the size in bytes of one simulated cache line.
+const LineBytes = LineWords * WordSize
+
+// Mode selects how a Pool models persistence.
+type Mode int
+
+const (
+	// ModeStrict maintains an exact durable view and supports Crash and
+	// Recover. Use it for correctness and crash-injection testing.
+	ModeStrict Mode = iota
+	// ModeFast replaces durable bookkeeping with a calibrated cost model.
+	// Use it for throughput benchmarking.
+	ModeFast
+)
+
+// CostModel configures the simulated latency of persistence instructions in
+// ModeFast. Costs are in abstract spin units (roughly a nanosecond each on
+// contemporary hardware).
+type CostModel struct {
+	// PWBBase is the cost of writing back a line nobody else touches
+	// (a thread-private counter or a freshly allocated node).
+	PWBBase int
+	// PWBHeatUnit is the additional cost per unit of line heat. Heat
+	// rises each time a different thread writes back or writes the line,
+	// and decays when the same thread touches it repeatedly, so a line
+	// flushed by many threads converges to MaxHeat.
+	PWBHeatUnit int
+	// MaxHeat caps the heat of a line.
+	MaxHeat int
+	// PSyncCost is the cost of a PSync. The paper found this negligible
+	// on Intel hardware because CAS instructions already serialize
+	// outstanding stores; the default models that.
+	PSyncCost int
+}
+
+// DefaultCostModel mirrors the relative costs observed in the paper:
+// cheap private flushes, expensive contended flushes, ~free fences.
+func DefaultCostModel() CostModel {
+	return CostModel{PWBBase: 15, PWBHeatUnit: 150, MaxHeat: 16, PSyncCost: 4}
+}
+
+// Config parameterizes a Pool.
+type Config struct {
+	Mode Mode
+	// CapacityWords is the size of the arena. Allocation is a bump
+	// pointer and memory is never reused within a run (the algorithms
+	// assume a garbage collector, as does the paper); size the pool for
+	// the run length.
+	CapacityWords int
+	// MaxThreads bounds the number of ThreadCtx values; thread ids must
+	// be in [0, MaxThreads).
+	MaxThreads int
+	// Cost is the ModeFast cost model; zero value means DefaultCostModel.
+	Cost CostModel
+}
+
+// Pool is a simulated NVMM arena. All exported methods are safe for
+// concurrent use except Crash and Recover, which require that every thread
+// operating on the pool is parked (see TriggerCrash).
+type Pool struct {
+	mode Mode
+	cost CostModel
+
+	words []uint64 // volatile view, accessed with atomics
+
+	// Strict mode state.
+	durable []uint64 // durable view
+	wver    []uint64 // volatile per-word version, bumped on every write
+	dver    []uint64 // version of the durable copy of each word
+	dirty   []uint32 // per-line dirty flag (set on write, for eviction)
+	writer  []int32  // per-line last writer tid+1 (for eviction ordering)
+
+	// Fast mode state.
+	lineMeta []uint64 // per-line packed (heat<<32 | lastTid+1)
+
+	allocWords atomic.Uint64 // bump pointer, in words
+	crashFlag  atomic.Uint32 // when 1, thread ops panic with ErrCrashed
+	crashAfter atomic.Int64  // when > 0, counts down pool accesses to a crash
+
+	psyncEnabled atomic.Bool // false models "psyncs removed" experiments
+
+	mu    sync.Mutex
+	ctxs  []*ThreadCtx
+	sites []*siteInfo
+}
+
+// New creates a Pool. It panics on an invalid configuration; a simulation
+// cannot run without its arena, so this is an initialization-time failure.
+func New(cfg Config) *Pool {
+	if cfg.CapacityWords < LineWords {
+		panic("pmem: CapacityWords too small")
+	}
+	if cfg.MaxThreads <= 0 {
+		panic("pmem: MaxThreads must be positive")
+	}
+	if cfg.Cost == (CostModel{}) {
+		cfg.Cost = DefaultCostModel()
+	}
+	// Round capacity up to a whole number of lines.
+	capWords := (cfg.CapacityWords + LineWords - 1) / LineWords * LineWords
+	p := &Pool{
+		mode:  cfg.Mode,
+		cost:  cfg.Cost,
+		words: make([]uint64, capWords),
+	}
+	switch cfg.Mode {
+	case ModeStrict:
+		p.durable = make([]uint64, capWords)
+		p.wver = make([]uint64, capWords)
+		p.dver = make([]uint64, capWords)
+		p.dirty = make([]uint32, capWords/LineWords)
+		p.writer = make([]int32, capWords/LineWords)
+	case ModeFast:
+		p.lineMeta = make([]uint64, capWords/LineWords)
+	default:
+		panic(fmt.Sprintf("pmem: unknown mode %d", cfg.Mode))
+	}
+	p.psyncEnabled.Store(true)
+	// Reserve line 0 so that Addr 0 is never a valid allocation.
+	p.allocWords.Store(LineWords)
+	return p
+}
+
+// Mode reports the pool's persistence mode.
+func (p *Pool) Mode() Mode { return p.mode }
+
+// CapacityWords reports the arena size in words.
+func (p *Pool) CapacityWords() int { return len(p.words) }
+
+// AllocatedWords reports how many words have been allocated so far.
+func (p *Pool) AllocatedWords() int { return int(p.allocWords.Load()) }
+
+// SetPsyncEnabled turns all PSync and PFence instructions into no-ops when
+// false, implementing the paper's "psyncs removed" experiments (Figures 3c
+// and 4c). It affects cost accounting only; in ModeStrict psyncs always
+// retain their semantics so that correctness tests remain meaningful.
+func (p *Pool) SetPsyncEnabled(on bool) { p.psyncEnabled.Store(on) }
+
+// PsyncEnabled reports whether PSync/PFence instructions are active.
+func (p *Pool) PsyncEnabled() bool { return p.psyncEnabled.Load() }
+
+func (p *Pool) wordIndex(a Addr) int {
+	if a&(WordSize-1) != 0 {
+		panic(fmt.Sprintf("pmem: unaligned address %#x", uint64(a)))
+	}
+	wi := int(a / WordSize)
+	if wi <= 0 || wi >= len(p.words) {
+		panic(fmt.Sprintf("pmem: address %#x out of range", uint64(a)))
+	}
+	return wi
+}
+
+// alloc returns the first word index of a fresh region of n words, aligned
+// so that the region never straddles... regions are word-aligned; callers
+// needing line alignment use AllocLines.
+func (p *Pool) alloc(n int) Addr {
+	if n <= 0 {
+		panic("pmem: alloc of non-positive size")
+	}
+	w := p.allocWords.Add(uint64(n)) - uint64(n)
+	if w+uint64(n) > uint64(len(p.words)) {
+		panic(fmt.Sprintf("pmem: pool exhausted (capacity %d words); size the pool for the run", len(p.words)))
+	}
+	return Addr(w * WordSize)
+}
+
+// allocLines returns a line-aligned region of n whole lines. Used for
+// thread-private persistent variables (RD, CP) so they never share a cache
+// line with another thread's data (false sharing would distort the cost
+// model, and the paper's analysis depends on such flushes being private).
+func (p *Pool) allocLines(n int) Addr {
+	if n <= 0 {
+		panic("pmem: allocLines of non-positive size")
+	}
+	for {
+		cur := p.allocWords.Load()
+		start := (cur + LineWords - 1) / LineWords * LineWords
+		end := start + uint64(n*LineWords)
+		if end > uint64(len(p.words)) {
+			panic(fmt.Sprintf("pmem: pool exhausted (capacity %d words); size the pool for the run", len(p.words)))
+		}
+		if p.allocWords.CompareAndSwap(cur, end) {
+			return Addr(start * WordSize)
+		}
+	}
+}
+
+// NumRootSlots is the number of well-known root pointer slots in a pool.
+// Real persistent-memory pools expose a fixed root object from which all
+// durable data must be reachable after a restart; slots play that role here.
+const NumRootSlots = 7
+
+// RootSlot returns the address of well-known root slot i (0-based). Slots
+// live in the reserved first cache line of the pool, so their addresses are
+// identical across restarts. Structures persist their header addresses here
+// so recovery code can find them.
+func (p *Pool) RootSlot(i int) Addr {
+	if i < 0 || i >= NumRootSlots {
+		panic("pmem: root slot out of range")
+	}
+	return Addr((i + 1) * WordSize)
+}
+
+// DurableLoad reads a word from the durable view. It is meaningful only in
+// ModeStrict and is intended for tests and recovery diagnostics.
+func (p *Pool) DurableLoad(a Addr) uint64 {
+	if p.mode != ModeStrict {
+		panic("pmem: DurableLoad requires ModeStrict")
+	}
+	return atomic.LoadUint64(&p.durable[p.wordIndex(a)])
+}
+
+// TriggerCrash initiates a system-wide crash: every subsequent pool access
+// by any ThreadCtx panics with ErrCrashed. The crash orchestrator (see
+// internal/chaos) recovers those panics, waits for all threads to park, and
+// then calls Crash followed by Recover.
+func (p *Pool) TriggerCrash() { p.crashFlag.Store(1) }
+
+// CrashPending reports whether a crash has been triggered and not yet
+// resolved by Crash/Recover.
+func (p *Pool) CrashPending() bool { return p.crashFlag.Load() != 0 }
+
+// SetCrashAfter arms a crash trigger that fires after n further pool
+// accesses (by any thread). It gives crash-injection tests deterministic,
+// instruction-level crash points. n <= 0 disarms the trigger.
+func (p *Pool) SetCrashAfter(n int64) {
+	if n <= 0 {
+		p.crashAfter.Store(0)
+		return
+	}
+	p.crashAfter.Store(n)
+}
+
+func (p *Pool) checkCrash() {
+	if p.crashAfter.Load() > 0 && p.crashAfter.Add(-1) == 0 {
+		p.crashFlag.Store(1)
+	}
+	if p.crashFlag.Load() != 0 {
+		panic(ErrCrashed)
+	}
+}
+
+// crashed is the type of the ErrCrashed sentinel.
+type crashed struct{}
+
+func (crashed) Error() string { return "pmem: system-wide crash" }
+
+// ErrCrashed is the panic value raised by pool accesses after TriggerCrash.
+// Thread loops run under chaos recovery catch it and park.
+var ErrCrashed error = crashed{}

@@ -1,0 +1,162 @@
+package pmem
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Site identifies one pwb code line of an algorithm, the unit of the
+// paper's persistence-cost accounting (Section 5): sites are counted
+// individually, can be disabled individually ("remove this code line"), and
+// are classified by measured impact into Low/Medium/High categories.
+type Site int
+
+// NoSite is a placeholder for internal write-backs that belong to no
+// algorithm code line (never counted, never disabled).
+const NoSite Site = -1
+
+type siteInfo struct {
+	label    string
+	disabled atomic.Bool
+}
+
+// RegisterSite registers a pwb code line under a human-readable label and
+// returns its Site handle. Algorithms register their sites at construction
+// time, before threads start issuing PWBs. Registering the same label twice
+// returns the same Site.
+func (p *Pool) RegisterSite(label string) Site {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, s := range p.sites {
+		if s.label == label {
+			return Site(i)
+		}
+	}
+	p.sites = append(p.sites, &siteInfo{label: label})
+	// Existing thread contexts predate this site; grow their counters.
+	for _, ctx := range p.ctxs {
+		if len(ctx.pwbPerSite) < len(p.sites) {
+			grown := make([]atomic.Uint64, len(p.sites))
+			for i := range ctx.pwbPerSite {
+				grown[i].Store(ctx.pwbPerSite[i].Load())
+			}
+			ctx.pwbPerSite = grown
+		}
+	}
+	return Site(len(p.sites) - 1)
+}
+
+// SiteLabels returns the labels of all registered sites, indexed by Site.
+func (p *Pool) SiteLabels() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, len(p.sites))
+	for i, s := range p.sites {
+		out[i] = s.label
+	}
+	return out
+}
+
+// SetSiteEnabled enables or disables the pwb code line s. A disabled site's
+// PWBs are not executed and not counted, exactly as if the line were
+// removed from the source.
+func (p *Pool) SetSiteEnabled(s Site, on bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if int(s) >= 0 && int(s) < len(p.sites) {
+		p.sites[s].disabled.Store(!on)
+	}
+}
+
+// SetAllSitesEnabled enables or disables every registered pwb code line
+// (the "[no pwbs]" configurations of Figures 3f and 4f).
+func (p *Pool) SetAllSitesEnabled(on bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.sites {
+		s.disabled.Store(!on)
+	}
+}
+
+func (p *Pool) siteEnabled(s Site) bool {
+	if s == NoSite {
+		return true
+	}
+	i := int(s)
+	if i < 0 || i >= len(p.sites) {
+		return true
+	}
+	return !p.sites[i].disabled.Load()
+}
+
+// Stats is a snapshot of persistence-instruction counters summed over all
+// live thread contexts.
+type Stats struct {
+	PWBsBySite map[string]uint64
+	PWBs       uint64
+	PSyncs     uint64
+	PFences    uint64
+	SpinUnits  uint64 // ModeFast: total simulated persistence latency charged
+}
+
+// Snapshot sums the counters of all thread contexts created since the pool
+// was built (or since the last Recover, which detaches dead contexts).
+func (p *Pool) Snapshot() Stats {
+	p.mu.Lock()
+	ctxs := append([]*ThreadCtx(nil), p.ctxs...)
+	labels := make([]string, len(p.sites))
+	for i, s := range p.sites {
+		labels[i] = s.label
+	}
+	p.mu.Unlock()
+
+	st := Stats{PWBsBySite: make(map[string]uint64, len(labels))}
+	for _, l := range labels {
+		st.PWBsBySite[l] = 0
+	}
+	for _, ctx := range ctxs {
+		for i := range ctx.pwbPerSite {
+			if i < len(labels) {
+				st.PWBsBySite[labels[i]] += ctx.pwbPerSite[i].Load()
+			}
+		}
+		st.PWBs += ctx.pwbTotal.Load()
+		st.PSyncs += ctx.psyncs.Load()
+		st.PFences += ctx.pfences.Load()
+		st.SpinUnits += ctx.spun.Load()
+	}
+	return st
+}
+
+// SortedSiteCounts returns (label, count) pairs in descending count order.
+func (st Stats) SortedSiteCounts() []SiteCount {
+	out := make([]SiteCount, 0, len(st.PWBsBySite))
+	for l, c := range st.PWBsBySite {
+		out = append(out, SiteCount{Label: l, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// SiteCount pairs a site label with its executed-PWB count.
+type SiteCount struct {
+	Label string
+	Count uint64
+}
+
+func (ctx *ThreadCtx) countPWB(s Site) {
+	if s == NoSite {
+		// Infrastructure write-backs (pool/structure construction) are
+		// not part of any algorithm's persistence accounting.
+		return
+	}
+	ctx.pwbTotal.Add(1)
+	if i := int(s); i >= 0 && i < len(ctx.pwbPerSite) {
+		ctx.pwbPerSite[i].Add(1)
+	}
+}

@@ -1,0 +1,127 @@
+package rbst
+
+import (
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+// FuzzTreeModel drives the recoverable BST with arbitrary operation bytes
+// and cross-checks every response against a map model, including a crash
+// and recovery at a byte-chosen point.
+func FuzzTreeModel(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{200, 3, 3, 3, 9, 9, 9})
+	f.Add([]byte{50, 0, 255, 128, 64, 32, 16})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		crashAt := int64(data[0])*8 + 1
+		data = data[1:]
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 19, MaxThreads: 4})
+		tr := New(pool, 4, 0)
+		model := map[int64]bool{}
+
+		crashed := false
+		idx, invoked := -1, false
+		run := func(h *Handle, b byte) bool {
+			key := int64(b%16) + 1
+			switch b % 3 {
+			case 0:
+				return h.Insert(key)
+			case 1:
+				return h.Delete(key)
+			default:
+				return h.Find(key)
+			}
+		}
+		applyB := func(b byte) bool {
+			key := int64(b%16) + 1
+			switch b % 3 {
+			case 0:
+				r := !model[key]
+				model[key] = true
+				return r
+			case 1:
+				r := model[key]
+				delete(model, key)
+				return r
+			default:
+				return model[key]
+			}
+		}
+
+		pool.SetCrashAfter(crashAt)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if r != pmem.ErrCrashed {
+						panic(r)
+					}
+					crashed = true
+				}
+			}()
+			h := tr.Handle(pool.NewThread(1))
+			for i, b := range data {
+				idx, invoked = i, false
+				h.Invoke()
+				invoked = true
+				if run(h, b) != applyB(b) {
+					t.Fatalf("op %d mismatch pre-crash", i)
+				}
+			}
+		}()
+		pool.SetCrashAfter(0)
+		if crashed {
+			pool.Crash(pmem.CrashPolicy{})
+			pool.Recover()
+			tr2, err := Attach(pool, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := tr2.Handle(pool.NewThread(1))
+			b := data[idx]
+			key := int64(b%16) + 1
+			var got bool
+			if invoked {
+				switch b % 3 {
+				case 0:
+					got = h.RecoverInsert(key)
+				case 1:
+					got = h.RecoverDelete(key)
+				default:
+					got = h.RecoverFind(key)
+				}
+			} else {
+				got = run(h, b)
+			}
+			if got != applyB(b) {
+				t.Fatalf("recovered op %d mismatch", idx)
+			}
+			for i := idx + 1; i < len(data); i++ {
+				if run(h, data[i]) != applyB(data[i]) {
+					t.Fatalf("post-recovery op %d mismatch", i)
+				}
+			}
+			tr = tr2
+		}
+
+		boot := pool.NewThread(2)
+		keys := tr.Keys(boot)
+		if len(keys) != len(model) {
+			t.Fatalf("final keys %v vs model %v", keys, model)
+		}
+		for _, k := range keys {
+			if !model[k] {
+				t.Fatalf("ghost key %d", k)
+			}
+		}
+		if err := tr.CheckInvariants(boot, true); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

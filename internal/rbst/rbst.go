@@ -1,0 +1,429 @@
+// Package rbst implements the detectably recoverable leaf-oriented
+// (external) binary search tree of Attiya et al. (PPoPP 2022), Algorithms 5
+// and 6 — the non-blocking BST of Ellen, Fatourou, Ruppert and van Breugel
+// (PODC 2010) made detectably recoverable with the Tracking approach.
+//
+// Keys live at the leaves; internal nodes route searches: a search for k
+// descends left when k < node.key and right otherwise. The tree is
+// initialized with a root holding the large sentinel key Inf2 and two leaf
+// children Inf1 and Inf2, which guarantees every real key's leaf has both a
+// parent and a grandparent.
+//
+//   - Insert(k) replaces the reached leaf l with a fresh three-node
+//     subtree: an internal node with key max(k, l.key) whose children are
+//     a new leaf k and a copy of l. Only the parent p is tagged.
+//   - Delete(k) splices leaf l and its parent p out by swinging the
+//     grandparent's child pointer to l's sibling. gp and p are tagged, in
+//     ancestor order; p leaves the tree and stays tagged forever.
+//   - Find(k) is read-only and uses the paper's read-only optimization.
+//
+// Deviations from the paper's pseudocode, chosen for crash safety and
+// documented in DESIGN.md: unsuccessful updates publish descriptors with an
+// empty WriteSet (otherwise a crash-time Help replay could apply the update
+// of an operation that already reported failure), and Find's single
+// AffectSet entry is the parent p rather than the leaf l, because leaves
+// carry no info field (Figure 7).
+package rbst
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/pmem"
+	"repro/internal/tracking"
+)
+
+// Operation type codes.
+const (
+	OpInsert uint64 = 1
+	OpDelete uint64 = 2
+	OpFind   uint64 = 3
+)
+
+// Operation results.
+const (
+	ResultFalse uint64 = 0
+	ResultTrue  uint64 = 1
+)
+
+// Sentinel keys: every user key must be < Inf1.
+const (
+	Inf1 int64 = math.MaxInt64 - 1
+	Inf2 int64 = math.MaxInt64
+)
+
+// Node kinds. Zero is invalid so that uninitialized memory is detected.
+const (
+	kindLeaf     uint64 = 1
+	kindInternal uint64 = 2
+)
+
+// Node word offsets. Leaves use only kind and key.
+const (
+	offKind  = 0
+	offKey   = pmem.WordSize
+	offLeft  = 2 * pmem.WordSize
+	offRight = 3 * pmem.WordSize
+	offInfo  = 4 * pmem.WordSize
+
+	leafLen     = 2
+	internalLen = 5
+)
+
+// Header word offsets.
+const (
+	hdrRoot    = 0
+	hdrTable   = pmem.WordSize
+	hdrThreads = 2 * pmem.WordSize
+	hdrLen     = 3
+)
+
+// Tree is a detectably recoverable set of int64 keys backed by an external
+// BST.
+type Tree struct {
+	pool   *pmem.Pool
+	eng    *tracking.Engine
+	root   pmem.Addr
+	header pmem.Addr
+}
+
+func newLeaf(ctx *pmem.ThreadCtx, key int64) pmem.Addr {
+	l := ctx.AllocLocal(leafLen)
+	ctx.Store(l+offKind, kindLeaf)
+	ctx.Store(l+offKey, uint64(key))
+	return l
+}
+
+// New creates an empty tree for up to maxThreads threads and records its
+// header in rootSlot.
+func New(pool *pmem.Pool, maxThreads, rootSlot int) *Tree {
+	eng := tracking.New(pool, maxThreads, "rbst")
+	boot := pool.NewThread(0)
+
+	l1 := newLeaf(boot, Inf1)
+	l2 := newLeaf(boot, Inf2)
+	root := boot.AllocLocal(internalLen)
+	boot.Store(root+offKind, kindInternal)
+	boot.Store(root+offKey, uint64(Inf2))
+	boot.Store(root+offLeft, uint64(l1))
+	boot.Store(root+offRight, uint64(l2))
+
+	header := boot.AllocLocal(hdrLen)
+	boot.Store(header+hdrRoot, uint64(root))
+	boot.Store(header+hdrTable, uint64(eng.TableAddr()))
+	boot.Store(header+hdrThreads, uint64(maxThreads))
+
+	boot.PWBRange(pmem.NoSite, l1, leafLen)
+	boot.PWBRange(pmem.NoSite, l2, leafLen)
+	boot.PWBRange(pmem.NoSite, root, internalLen)
+	boot.PWBRange(pmem.NoSite, header, hdrLen)
+	boot.PFence()
+	slot := pool.RootSlot(rootSlot)
+	boot.Store(slot, uint64(header))
+	boot.PWB(pmem.NoSite, slot)
+	boot.PSync()
+
+	return &Tree{pool: pool, eng: eng, root: root, header: header}
+}
+
+// Attach reconstructs a Tree from the header in rootSlot, typically after
+// pool recovery.
+func Attach(pool *pmem.Pool, rootSlot int) (*Tree, error) {
+	boot := pool.NewThread(0)
+	header := pmem.Addr(boot.Load(pool.RootSlot(rootSlot)))
+	if header == pmem.Null {
+		return nil, fmt.Errorf("rbst: root slot %d holds no tree", rootSlot)
+	}
+	root := pmem.Addr(boot.Load(header + hdrRoot))
+	table := pmem.Addr(boot.Load(header + hdrTable))
+	threads := int(boot.Load(header + hdrThreads))
+	if root == pmem.Null || table == pmem.Null || threads <= 0 {
+		return nil, fmt.Errorf("rbst: corrupt header at %#x", uint64(header))
+	}
+	eng := tracking.Attach(pool, table, threads, "rbst")
+	return &Tree{pool: pool, eng: eng, root: root, header: header}, nil
+}
+
+// Handle binds a thread context to the tree; one per simulated thread.
+type Handle struct {
+	tree *Tree
+	th   *tracking.Thread
+	ctx  *pmem.ThreadCtx
+}
+
+// Handle creates the per-thread handle for ctx.
+func (t *Tree) Handle(ctx *pmem.ThreadCtx) *Handle {
+	return &Handle{tree: t, th: t.eng.Thread(ctx), ctx: ctx}
+}
+
+// Invoke performs the system-side invocation step; see tracking.Invoke.
+func (h *Handle) Invoke() { h.th.Invoke() }
+
+func checkKey(key int64) {
+	if key >= Inf1 {
+		panic("rbst: key collides with a sentinel")
+	}
+}
+
+// search descends from the root to a leaf (Algorithm 5 lines 30-39),
+// remembering the parent, grandparent, and the info values read on the way
+// down.
+func (h *Handle) search(key int64) (gp, p, l pmem.Addr, gpInfo, pInfo uint64) {
+	c := h.ctx
+	l = h.tree.root
+	for c.Load(l+offKind) == kindInternal {
+		gp, p = p, l
+		gpInfo = pInfo
+		pInfo = c.Load(l + offInfo)
+		if key < int64(c.Load(l+offKey)) {
+			l = pmem.Addr(c.Load(l + offLeft))
+		} else {
+			l = pmem.Addr(c.Load(l + offRight))
+		}
+	}
+	return gp, p, l, gpInfo, pInfo
+}
+
+// Insert adds key to the set and reports whether it was absent
+// (Algorithm 5).
+func (h *Handle) Insert(key int64) bool {
+	checkKey(key)
+	h.th.Invoke()
+	c := h.ctx
+	newLf := newLeaf(c, key) // Algorithm 5 line 1
+	h.th.BeginOp()
+
+	for {
+		_, p, l, _, pInfo := h.search(key)
+		lKey := int64(c.Load(l + offKey))
+		exists := lKey == key
+
+		if tracking.IsTagged(pInfo) {
+			h.th.Help(tracking.DescOf(pInfo))
+			continue
+		}
+		affect := []tracking.AffectEntry{{InfoField: p + offInfo, Observed: pInfo, Untag: true}}
+
+		var desc pmem.Addr
+		var regions []tracking.Region
+		if exists {
+			desc = h.th.NewDesc(OpInsert, ResultFalse, affect, nil, nil)
+			h.th.SetEarlyResult(desc, ResultFalse)
+		} else {
+			// Build the replacement subtree: internal node with the
+			// larger key, new leaf and a copy of l as children in
+			// key order (lines 14-15).
+			newSibling := newLeaf(c, lKey)
+			newInternal := c.AllocLocal(internalLen)
+			c.Store(newInternal+offKind, kindInternal)
+			if key < lKey {
+				c.Store(newInternal+offKey, uint64(lKey))
+				c.Store(newInternal+offLeft, uint64(newLf))
+				c.Store(newInternal+offRight, uint64(newSibling))
+			} else {
+				c.Store(newInternal+offKey, uint64(key))
+				c.Store(newInternal+offLeft, uint64(newSibling))
+				c.Store(newInternal+offRight, uint64(newLf))
+			}
+			childOff := pmem.Addr(offRight)
+			if l == pmem.Addr(c.Load(p+offLeft)) {
+				childOff = offLeft
+			}
+			writes := []tracking.WriteEntry{{Field: p + childOff, Old: uint64(l), New: uint64(newInternal)}}
+			news := []pmem.Addr{newInternal + offInfo}
+			desc = h.th.NewDesc(OpInsert, ResultTrue, affect, writes, news)
+			c.Store(newInternal+offInfo, tracking.Tagged(desc))
+			regions = []tracking.Region{
+				{Addr: newLf, Words: leafLen},
+				{Addr: newSibling, Words: leafLen},
+				{Addr: newInternal, Words: internalLen},
+			}
+		}
+		h.th.Publish(desc, regions...)
+		if exists {
+			return false
+		}
+		h.th.Help(desc)
+		if h.th.Result(desc) != tracking.Bottom {
+			return h.th.Result(desc) == ResultTrue
+		}
+	}
+}
+
+// Delete removes key from the set and reports whether it was present
+// (Algorithm 6).
+func (h *Handle) Delete(key int64) bool {
+	checkKey(key)
+	h.th.Invoke()
+	c := h.ctx
+	h.th.BeginOp()
+
+	for {
+		gp, p, l, gpInfo, pInfo := h.search(key)
+		missing := int64(c.Load(l+offKey)) != key
+
+		if tracking.IsTagged(gpInfo) {
+			h.th.Help(tracking.DescOf(gpInfo))
+			continue
+		}
+		if tracking.IsTagged(pInfo) {
+			h.th.Help(tracking.DescOf(pInfo))
+			continue
+		}
+
+		var desc pmem.Addr
+		if missing {
+			affect := []tracking.AffectEntry{{InfoField: p + offInfo, Observed: pInfo, Untag: true}}
+			desc = h.th.NewDesc(OpDelete, ResultFalse, affect, nil, nil)
+			h.th.SetEarlyResult(desc, ResultFalse)
+		} else {
+			// Real keys always have a grandparent thanks to the
+			// sentinel structure.
+			affect := []tracking.AffectEntry{
+				{InfoField: gp + offInfo, Observed: gpInfo, Untag: true},
+				// p is spliced out of the tree; it stays tagged.
+				{InfoField: p + offInfo, Observed: pInfo, Untag: false},
+			}
+			var other uint64
+			if l == pmem.Addr(c.Load(p+offLeft)) {
+				other = c.Load(p + offRight)
+			} else {
+				other = c.Load(p + offLeft)
+			}
+			childOff := pmem.Addr(offRight)
+			if p == pmem.Addr(c.Load(gp+offLeft)) {
+				childOff = offLeft
+			}
+			writes := []tracking.WriteEntry{{Field: gp + childOff, Old: uint64(p), New: other}}
+			desc = h.th.NewDesc(OpDelete, ResultTrue, affect, writes, nil)
+		}
+		h.th.Publish(desc)
+		if missing {
+			return false
+		}
+		h.th.Help(desc)
+		if h.th.Result(desc) != tracking.Bottom {
+			return h.th.Result(desc) == ResultTrue
+		}
+	}
+}
+
+// Find reports whether key is in the set. It is read-only: the AffectSet is
+// the single parent node, no tagging happens, and the descriptor is
+// published only for detectability.
+func (h *Handle) Find(key int64) bool {
+	checkKey(key)
+	h.th.Invoke()
+	c := h.ctx
+	h.th.BeginOp()
+	for {
+		_, p, l, _, pInfo := h.search(key)
+		if tracking.IsTagged(pInfo) {
+			h.th.Help(tracking.DescOf(pInfo))
+			continue
+		}
+		result := ResultFalse
+		if int64(c.Load(l+offKey)) == key {
+			result = ResultTrue
+		}
+		// Linearize at re-reading p's info: if it changed since the
+		// descent, the observed leaf may be stale — retry.
+		if c.Load(p+offInfo) != pInfo {
+			continue
+		}
+		affect := []tracking.AffectEntry{{InfoField: p + offInfo, Observed: pInfo, Untag: true}}
+		desc := h.th.NewDesc(OpFind, result, affect, nil, nil)
+		h.th.SetEarlyResult(desc, result)
+		h.th.Publish(desc)
+		return result == ResultTrue
+	}
+}
+
+// RecoverInsert is Insert's recovery function (same contract as
+// rlist.RecoverInsert).
+func (h *Handle) RecoverInsert(key int64) bool {
+	if _, res, ok := h.th.Recover(); ok {
+		return res == ResultTrue
+	}
+	return h.Insert(key)
+}
+
+// RecoverDelete is Delete's recovery function.
+func (h *Handle) RecoverDelete(key int64) bool {
+	if _, res, ok := h.th.Recover(); ok {
+		return res == ResultTrue
+	}
+	return h.Delete(key)
+}
+
+// RecoverFind is Find's recovery function.
+func (h *Handle) RecoverFind(key int64) bool {
+	if _, res, ok := h.th.Recover(); ok {
+		return res == ResultTrue
+	}
+	return h.Find(key)
+}
+
+// Keys returns the user keys currently in the tree in sorted order
+// (diagnostic; not linearizable with concurrent updates).
+func (t *Tree) Keys(ctx *pmem.ThreadCtx) []int64 {
+	var out []int64
+	var walk func(a pmem.Addr)
+	walk = func(a pmem.Addr) {
+		if ctx.Load(a+offKind) == kindLeaf {
+			if k := int64(ctx.Load(a + offKey)); k < Inf1 {
+				out = append(out, k)
+			}
+			return
+		}
+		walk(pmem.Addr(ctx.Load(a + offLeft)))
+		walk(pmem.Addr(ctx.Load(a + offRight)))
+	}
+	walk(t.root)
+	return out
+}
+
+// CheckInvariants verifies the external-BST shape: every internal node has
+// two children, left-subtree leaf keys are smaller than the node key and
+// right-subtree keys are at least it, leaves are unique for user keys, and
+// (when quiescent) no reachable internal node is left tagged.
+func (t *Tree) CheckInvariants(ctx *pmem.ThreadCtx, quiescent bool) error {
+	seen := map[int64]bool{}
+	var walk func(a pmem.Addr, lo, hi int64, depth int) error
+	walk = func(a pmem.Addr, lo, hi int64, depth int) error {
+		if a == pmem.Null {
+			return fmt.Errorf("rbst: nil child pointer at depth %d", depth)
+		}
+		if depth > 512 {
+			return fmt.Errorf("rbst: depth exceeds 512 (cycle?)")
+		}
+		kind := ctx.Load(a + offKind)
+		key := int64(ctx.Load(a + offKey))
+		if key < lo || key > hi {
+			return fmt.Errorf("rbst: key %d outside range [%d,%d]", key, lo, hi)
+		}
+		switch kind {
+		case kindLeaf:
+			if key < Inf1 {
+				if seen[key] {
+					return fmt.Errorf("rbst: duplicate leaf key %d", key)
+				}
+				seen[key] = true
+			}
+			return nil
+		case kindInternal:
+			if quiescent {
+				if info := ctx.Load(a + offInfo); tracking.IsTagged(info) {
+					return fmt.Errorf("rbst: reachable internal node %d tagged at quiescence (info %#x)", key, info)
+				}
+			}
+			if err := walk(pmem.Addr(ctx.Load(a+offLeft)), lo, key-1, depth+1); err != nil {
+				return err
+			}
+			return walk(pmem.Addr(ctx.Load(a+offRight)), key, hi, depth+1)
+		default:
+			return fmt.Errorf("rbst: node %#x has invalid kind %d", uint64(a), kind)
+		}
+	}
+	return walk(t.root, math.MinInt64, math.MaxInt64, 0)
+}

@@ -1,0 +1,360 @@
+package rbst
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chaos"
+	"repro/internal/pmem"
+	"repro/internal/tracking"
+)
+
+func newTree(t testing.TB, mode pmem.Mode) (*pmem.Pool, *Tree) {
+	t.Helper()
+	pool := pmem.New(pmem.Config{Mode: mode, CapacityWords: 1 << 21, MaxThreads: 16})
+	return pool, New(pool, 16, 0)
+}
+
+func TestEmptyTree(t *testing.T) {
+	pool, tr := newTree(t, pmem.ModeStrict)
+	h := tr.Handle(pool.NewThread(1))
+	if h.Find(10) || h.Delete(10) {
+		t.Fatal("empty tree claims membership")
+	}
+	if got := tr.Keys(h.ctx); len(got) != 0 {
+		t.Fatalf("Keys = %v", got)
+	}
+	if err := tr.CheckInvariants(h.ctx, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertDeleteFind(t *testing.T) {
+	pool, tr := newTree(t, pmem.ModeStrict)
+	h := tr.Handle(pool.NewThread(1))
+	for _, k := range []int64{50, 20, 70, 10, 30, 60, 80} {
+		if !h.Insert(k) {
+			t.Fatalf("Insert(%d) failed", k)
+		}
+	}
+	if h.Insert(30) {
+		t.Fatal("duplicate Insert(30) succeeded")
+	}
+	for _, k := range []int64{50, 20, 70, 10, 30, 60, 80} {
+		if !h.Find(k) {
+			t.Fatalf("Find(%d) failed", k)
+		}
+	}
+	if h.Find(55) {
+		t.Fatal("found ghost key 55")
+	}
+	if !h.Delete(20) {
+		t.Fatal("Delete(20) failed")
+	}
+	if h.Delete(20) || h.Find(20) {
+		t.Fatal("key 20 survives its deletion")
+	}
+	want := []int64{10, 30, 50, 60, 70, 80}
+	got := tr.Keys(h.ctx)
+	if len(got) != len(want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", got, want)
+		}
+	}
+	if err := tr.CheckInvariants(h.ctx, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteDownToEmpty(t *testing.T) {
+	pool, tr := newTree(t, pmem.ModeStrict)
+	h := tr.Handle(pool.NewThread(1))
+	keys := []int64{5, 3, 9, 1, 7}
+	for _, k := range keys {
+		h.Insert(k)
+	}
+	for _, k := range keys {
+		if !h.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+	}
+	if got := tr.Keys(h.ctx); len(got) != 0 {
+		t.Fatalf("Keys after deleting all = %v", got)
+	}
+	if err := tr.CheckInvariants(h.ctx, true); err != nil {
+		t.Fatal(err)
+	}
+	// The tree must be reusable after emptying.
+	if !h.Insert(4) || !h.Find(4) {
+		t.Fatal("tree unusable after emptying")
+	}
+}
+
+func TestSentinelKeysPanic(t *testing.T) {
+	pool, tr := newTree(t, pmem.ModeStrict)
+	h := tr.Handle(pool.NewThread(1))
+	for _, k := range []int64{Inf1, Inf2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("sentinel key %d accepted", k)
+				}
+			}()
+			h.Insert(k)
+		}()
+	}
+}
+
+func TestQuickModelEquivalence(t *testing.T) {
+	f := func(ops []uint16) bool {
+		pool, tr := newTree(t, pmem.ModeStrict)
+		h := tr.Handle(pool.NewThread(1))
+		model := map[int64]bool{}
+		for _, o := range ops {
+			key := int64(o%60) + 1
+			switch o % 3 {
+			case 0:
+				if h.Insert(key) != !model[key] {
+					return false
+				}
+				model[key] = true
+			case 1:
+				if h.Delete(key) != model[key] {
+					return false
+				}
+				delete(model, key)
+			default:
+				if h.Find(key) != model[key] {
+					return false
+				}
+			}
+		}
+		keys := tr.Keys(h.ctx)
+		if len(keys) != len(model) {
+			return false
+		}
+		for _, k := range keys {
+			if !model[k] {
+				return false
+			}
+		}
+		return tr.CheckInvariants(h.ctx, true) == nil
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(13))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttach(t *testing.T) {
+	pool, tr := newTree(t, pmem.ModeStrict)
+	h := tr.Handle(pool.NewThread(1))
+	h.Insert(8)
+	tr2, err := Attach(pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := tr2.Handle(pool.NewThread(2))
+	if !h2.Find(8) || h2.Find(9) {
+		t.Fatal("attached tree sees wrong contents")
+	}
+}
+
+func TestDeletedParentStaysTagged(t *testing.T) {
+	pool, tr := newTree(t, pmem.ModeStrict)
+	h := tr.Handle(pool.NewThread(1))
+	h.Insert(10)
+	h.Insert(20)
+	// Find 20's parent before deleting 20; it will be spliced out.
+	_, p, _, _, _ := h.search(20)
+	if !h.Delete(20) {
+		t.Fatal("Delete(20) failed")
+	}
+	if !tracking.IsTagged(h.ctx.Load(p + offInfo)) {
+		t.Fatal("spliced-out parent lost its tag")
+	}
+	if err := tr.CheckInvariants(h.ctx, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	pool, tr := newTree(t, pmem.ModeFast)
+	const threads = 6
+	const opsPer = 300
+	type rec struct{ ins, del uint64 }
+	counts := make([]map[int64]*rec, threads)
+
+	var wg sync.WaitGroup
+	for tid := 1; tid <= threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			h := tr.Handle(pool.NewThread(tid))
+			rng := rand.New(rand.NewSource(int64(tid) * 77))
+			mine := map[int64]*rec{}
+			counts[tid-1] = mine
+			for i := 0; i < opsPer; i++ {
+				key := int64(rng.Intn(50)) + 1
+				r := mine[key]
+				if r == nil {
+					r = &rec{}
+					mine[key] = r
+				}
+				switch rng.Intn(3) {
+				case 0:
+					if h.Insert(key) {
+						r.ins++
+					}
+				case 1:
+					if h.Delete(key) {
+						r.del++
+					}
+				default:
+					h.Find(key)
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+
+	boot := pool.NewThread(0)
+	if err := tr.CheckInvariants(boot, true); err != nil {
+		t.Fatal(err)
+	}
+	present := map[int64]bool{}
+	for _, k := range tr.Keys(boot) {
+		present[k] = true
+	}
+	totals := map[int64]*rec{}
+	for _, m := range counts {
+		for k, r := range m {
+			tr := totals[k]
+			if tr == nil {
+				tr = &rec{}
+				totals[k] = tr
+			}
+			tr.ins += r.ins
+			tr.del += r.del
+		}
+	}
+	for k, r := range totals {
+		net := int64(r.ins) - int64(r.del)
+		if net != 0 && net != 1 {
+			t.Fatalf("key %d: %d inserts vs %d deletes", k, r.ins, r.del)
+		}
+		if (net == 1) != present[k] {
+			t.Fatalf("key %d: net %d but present=%v", k, net, present[k])
+		}
+	}
+}
+
+// Chaos adapter: the tree under crash injection.
+
+type treeThread struct{ h *Handle }
+
+func (tt treeThread) Invoke() { tt.h.Invoke() }
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (tt treeThread) Run(op chaos.Op) uint64 {
+	switch op.Kind {
+	case 0:
+		return b2u(tt.h.Insert(op.Key))
+	case 1:
+		return b2u(tt.h.Delete(op.Key))
+	default:
+		return b2u(tt.h.Find(op.Key))
+	}
+}
+
+func (tt treeThread) Recover(op chaos.Op) uint64 {
+	switch op.Kind {
+	case 0:
+		return b2u(tt.h.RecoverInsert(op.Key))
+	case 1:
+		return b2u(tt.h.RecoverDelete(op.Key))
+	default:
+		return b2u(tt.h.RecoverFind(op.Key))
+	}
+}
+
+func runTreeChaos(t *testing.T, seed int64, threads, ops, crashes int) {
+	t.Helper()
+	pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 21, MaxThreads: threads + 2})
+	New(pool, threads+2, 0)
+
+	res, err := chaos.Run(chaos.Config{
+		Pool:         pool,
+		Threads:      threads,
+		OpsPerThread: ops,
+		GenOp: func(rng *rand.Rand, tid, i int) chaos.Op {
+			return chaos.Op{Kind: rng.Intn(3), Key: rng.Int63n(16) + 1}
+		},
+		Reattach: func(pool *pmem.Pool) (chaos.ThreadFactory, error) {
+			tr, err := Attach(pool, 0)
+			if err != nil {
+				return nil, err
+			}
+			return func(tid int) (chaos.Thread, error) {
+				return treeThread{h: tr.Handle(pool.NewThread(tid))}, nil
+			}, nil
+		},
+		Seed:                       seed,
+		MaxCrashes:                 crashes,
+		MeanAccessesBetweenCrashes: 600,
+		CommitProb:                 0.5,
+		EvictProb:                  0.1,
+	})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+
+	tr, err := Attach(pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot := pool.NewThread(0)
+	if err := tr.CheckInvariants(boot, true); err != nil {
+		t.Fatalf("seed %d: %v (after %d crashes)", seed, err, res.Crashes)
+	}
+	classify := func(rec chaos.OpRecord) (int64, int) {
+		if rec.Result != 1 {
+			return rec.Op.Key, 0
+		}
+		switch rec.Op.Kind {
+		case 0:
+			return rec.Op.Key, 1
+		case 1:
+			return rec.Op.Key, -1
+		default:
+			return rec.Op.Key, 0
+		}
+	}
+	if err := chaos.CheckSetAlternation(res.Logs, classify, tr.Keys(boot)); err != nil {
+		t.Fatalf("seed %d: %v (after %d crashes)", seed, err, res.Crashes)
+	}
+}
+
+func TestChaosTree(t *testing.T) {
+	runTreeChaos(t, 3, 4, 40, 6)
+}
+
+func TestChaosTreeManySeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long chaos sweep")
+	}
+	for seed := int64(60); seed < 90; seed++ {
+		runTreeChaos(t, seed, 3, 30, 4)
+	}
+}

@@ -1,0 +1,327 @@
+package redolog
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pmem"
+)
+
+func newSet(t testing.TB, mode pmem.Mode) (*pmem.Pool, *Set) {
+	t.Helper()
+	pool := pmem.New(pmem.Config{Mode: mode, CapacityWords: 1 << 20, MaxThreads: 16})
+	return pool, New(pool, 1<<14, 16, 0)
+}
+
+func TestBasicOps(t *testing.T) {
+	pool, s := newSet(t, pmem.ModeStrict)
+	h := s.Handle(pool.NewThread(1))
+	if !h.Insert(5) || h.Insert(5) {
+		t.Fatal("insert semantics broken")
+	}
+	if !h.Find(5) || h.Find(6) {
+		t.Fatal("find semantics broken")
+	}
+	if !h.Delete(5) || h.Delete(5) {
+		t.Fatal("delete semantics broken")
+	}
+}
+
+func TestQuickModelEquivalence(t *testing.T) {
+	f := func(ops []uint16) bool {
+		pool, s := newSet(t, pmem.ModeStrict)
+		h := s.Handle(pool.NewThread(1))
+		model := map[int64]bool{}
+		for _, o := range ops {
+			key := int64(o%40) + 1
+			switch o % 3 {
+			case 0:
+				if h.Insert(key) != !model[key] {
+					return false
+				}
+				model[key] = true
+			case 1:
+				if h.Delete(key) != model[key] {
+					return false
+				}
+				delete(model, key)
+			default:
+				if h.Find(key) != model[key] {
+					return false
+				}
+			}
+		}
+		return s.Size() == len(model)
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(23))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	pool, s := newSet(t, pmem.ModeFast)
+	const threads = 4
+	var wg sync.WaitGroup
+	for tid := 1; tid <= threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			h := s.Handle(pool.NewThread(tid))
+			base := int64(tid * 1000)
+			for i := int64(0); i < 80; i++ {
+				if !h.Insert(base + i) {
+					t.Errorf("insert %d failed", base+i)
+					return
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if got := s.Size(); got != threads*80 {
+		t.Fatalf("Size = %d, want %d", got, threads*80)
+	}
+}
+
+// TestCrashRecovery sweeps crash points over a small script and checks
+// detectable exactly-once semantics against a model.
+func TestCrashRecovery(t *testing.T) {
+	script := []struct {
+		op  uint64
+		key int64
+	}{
+		{OpInsert, 5}, {OpInsert, 9}, {OpDelete, 5}, {OpInsert, 5},
+		{OpFind, 9}, {OpDelete, 9}, {OpDelete, 9},
+	}
+	for crashAt := int64(1); ; crashAt++ {
+		if crashAt > 20000 {
+			t.Fatal("script never completed crash-free")
+		}
+		pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 18, MaxThreads: 4})
+		s := New(pool, 1<<10, 4, 0)
+		model := map[int64]bool{}
+		apply := func(op uint64, key int64) bool {
+			switch op {
+			case OpInsert:
+				if model[key] {
+					return false
+				}
+				model[key] = true
+				return true
+			case OpDelete:
+				if !model[key] {
+					return false
+				}
+				delete(model, key)
+				return true
+			default:
+				return model[key]
+			}
+		}
+		crashed := false
+		idx, invoked := -1, false
+
+		pool.SetCrashAfter(crashAt)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if r != pmem.ErrCrashed {
+						panic(r)
+					}
+					crashed = true
+				}
+			}()
+			h := s.Handle(pool.NewThread(1))
+			for i, op := range script {
+				idx, invoked = i, false
+				seq := h.Invoke()
+				invoked = true
+				got := h.run(seq, op.op, op.key) == 1
+				if got != apply(op.op, op.key) {
+					t.Fatalf("crashAt=%d op %d mismatch", crashAt, i)
+				}
+			}
+		}()
+		pool.SetCrashAfter(0)
+		if !crashed {
+			break
+		}
+		pool.Crash(pmem.CrashPolicy{Rng: rand.New(rand.NewSource(crashAt)), CommitProb: 0.5, EvictProb: 0.1})
+		pool.Recover()
+		s2, err := Attach(pool, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2 := s2.Handle(pool.NewThread(1))
+		op := script[idx]
+		var got bool
+		if invoked {
+			got = h2.Recover(op.op, op.key)
+		} else {
+			got = h2.runOp(op.op, op.key)
+		}
+		if got != apply(op.op, op.key) {
+			t.Fatalf("crashAt=%d recovered op %d: got %v", crashAt, idx, got)
+		}
+		for i := idx + 1; i < len(script); i++ {
+			op := script[i]
+			if h2.runOp(op.op, op.key) != apply(op.op, op.key) {
+				t.Fatalf("crashAt=%d post-recovery op %d mismatch", crashAt, i)
+			}
+		}
+		if s2.Size() != len(model) {
+			t.Fatalf("crashAt=%d: size %d vs model %d", crashAt, s2.Size(), len(model))
+		}
+	}
+}
+
+func TestAttachEmptySlot(t *testing.T) {
+	pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 12, MaxThreads: 2})
+	if _, err := Attach(pool, 3); err == nil {
+		t.Fatal("Attach on empty slot succeeded")
+	}
+}
+
+// TestCheckpointAndRingReuse forces the ring to lap many times with a tiny
+// capacity, so checkpoints must cover and truncate the log repeatedly.
+func TestCheckpointAndRingReuse(t *testing.T) {
+	pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 16, MaxThreads: 4})
+	s := New(pool, 16, 4, 0) // 16-entry ring
+	h := s.Handle(pool.NewThread(1))
+	model := map[int64]bool{}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 200; i++ {
+		key := rng.Int63n(10) + 1
+		if rng.Intn(2) == 0 {
+			want := !model[key]
+			model[key] = true
+			if h.Insert(key) != want {
+				t.Fatalf("op %d: insert mismatch", i)
+			}
+		} else {
+			want := model[key]
+			delete(model, key)
+			if h.Delete(key) != want {
+				t.Fatalf("op %d: delete mismatch", i)
+			}
+		}
+	}
+	if s.Size() != len(model) {
+		t.Fatalf("size %d vs model %d", s.Size(), len(model))
+	}
+	// Crash and recover: the replica must be rebuilt from the latest
+	// checkpoint plus the suffix.
+	pool.TriggerCrash()
+	pool.Crash(pmem.CrashPolicy{})
+	pool.Recover()
+	s2, err := Attach(pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Size() != len(model) {
+		t.Fatalf("recovered size %d vs model %d", s2.Size(), len(model))
+	}
+	boot := pool.NewThread(0)
+	for _, k := range s2.Keys(boot) {
+		if !model[k] {
+			t.Fatalf("recovered ghost key %d", k)
+		}
+	}
+}
+
+// TestCrashRecoveryWithCheckpoints repeats the crash sweep with a tiny ring
+// so recovery exercises the checkpoint-load path.
+func TestCrashRecoveryWithCheckpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-point sweep is slow under -race/-short")
+	}
+	script := []struct {
+		op  uint64
+		key int64
+	}{
+		{OpInsert, 1}, {OpInsert, 2}, {OpInsert, 3}, {OpDelete, 2},
+		{OpInsert, 4}, {OpInsert, 5}, {OpDelete, 1}, {OpInsert, 6},
+		{OpInsert, 7}, {OpDelete, 5}, {OpInsert, 8}, {OpFind, 3},
+	}
+	for crashAt := int64(1); ; crashAt++ {
+		if crashAt > 30000 {
+			t.Fatal("script never completed crash-free")
+		}
+		pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 16, MaxThreads: 4})
+		s := New(pool, 8, 4, 0) // 8-entry ring: checkpoints fire mid-script
+		model := map[int64]bool{}
+		apply := func(op uint64, key int64) bool {
+			switch op {
+			case OpInsert:
+				if model[key] {
+					return false
+				}
+				model[key] = true
+				return true
+			case OpDelete:
+				if !model[key] {
+					return false
+				}
+				delete(model, key)
+				return true
+			default:
+				return model[key]
+			}
+		}
+		crashed := false
+		idx, invoked := -1, false
+		pool.SetCrashAfter(crashAt)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if r != pmem.ErrCrashed {
+						panic(r)
+					}
+					crashed = true
+				}
+			}()
+			h := s.Handle(pool.NewThread(1))
+			for i, op := range script {
+				idx, invoked = i, false
+				seq := h.Invoke()
+				invoked = true
+				got := h.run(seq, op.op, op.key) == 1
+				if got != apply(op.op, op.key) {
+					t.Fatalf("crashAt=%d op %d mismatch", crashAt, i)
+				}
+			}
+		}()
+		pool.SetCrashAfter(0)
+		if !crashed {
+			break
+		}
+		pool.Crash(pmem.CrashPolicy{Rng: rand.New(rand.NewSource(crashAt)), CommitProb: 0.5, EvictProb: 0.1})
+		pool.Recover()
+		s2, err := Attach(pool, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2 := s2.Handle(pool.NewThread(1))
+		op := script[idx]
+		var got bool
+		if invoked {
+			got = h2.Recover(op.op, op.key)
+		} else {
+			got = h2.runOp(op.op, op.key)
+		}
+		if got != apply(op.op, op.key) {
+			t.Fatalf("crashAt=%d recovered op %d: got %v", crashAt, idx, got)
+		}
+		for i := idx + 1; i < len(script); i++ {
+			op := script[i]
+			if h2.runOp(op.op, op.key) != apply(op.op, op.key) {
+				t.Fatalf("crashAt=%d post-recovery op %d mismatch", crashAt, i)
+			}
+		}
+		if s2.Size() != len(model) {
+			t.Fatalf("crashAt=%d: size %d vs model %d", crashAt, s2.Size(), len(model))
+		}
+	}
+}

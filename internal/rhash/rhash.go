@@ -1,0 +1,176 @@
+// Package rhash composes the Tracking approach of Attiya et al. (PPoPP
+// 2022) into a detectably recoverable hash set: a fixed array of buckets,
+// each an embedded recoverable sorted list (Algorithms 3-4), all sharing a
+// single Tracking engine and per-thread recovery data. Recoverable hash
+// maps are among the structures the paper cites as natural Tracking targets
+// (Section 7 discusses Dash and the durable sets of Zuriel et al.); this
+// package shows the transformation composes without any new recovery code:
+// a thread executes one recoverable operation at a time, so the per-thread
+// CP/RD pair covers every bucket.
+package rhash
+
+import (
+	"fmt"
+
+	"repro/internal/pmem"
+	"repro/internal/rlist"
+	"repro/internal/tracking"
+)
+
+// Header word offsets.
+const (
+	hdrBuckets  = 0
+	hdrNBuckets = pmem.WordSize
+	hdrTable    = 2 * pmem.WordSize
+	hdrThreads  = 3 * pmem.WordSize
+	hdrLen      = 4
+)
+
+// Map is a detectably recoverable hash set of int64 keys.
+type Map struct {
+	pool     *pmem.Pool
+	eng      *tracking.Engine
+	buckets  []*rlist.List
+	nBuckets uint64
+	header   pmem.Addr
+}
+
+// New creates a map with nBuckets buckets (rounded up to a power of two)
+// for up to maxThreads threads, recording its header in rootSlot.
+func New(pool *pmem.Pool, nBuckets, maxThreads, rootSlot int) *Map {
+	n := 1
+	for n < nBuckets {
+		n *= 2
+	}
+	eng := tracking.New(pool, maxThreads, "rhash")
+	boot := pool.NewThread(0)
+
+	table := boot.AllocWords(n)
+	m := &Map{pool: pool, eng: eng, nBuckets: uint64(n)}
+	for i := 0; i < n; i++ {
+		l := rlist.NewEmbedded(eng, boot)
+		m.buckets = append(m.buckets, l)
+		boot.Store(table+pmem.Addr(i*pmem.WordSize), uint64(l.HeadAddr()))
+	}
+	header := boot.AllocLocal(hdrLen)
+	boot.Store(header+hdrBuckets, uint64(table))
+	boot.Store(header+hdrNBuckets, uint64(n))
+	boot.Store(header+hdrTable, uint64(eng.TableAddr()))
+	boot.Store(header+hdrThreads, uint64(maxThreads))
+	m.header = header
+
+	boot.PWBRange(pmem.NoSite, table, n)
+	boot.PWBRange(pmem.NoSite, header, hdrLen)
+	boot.PFence()
+	root := pool.RootSlot(rootSlot)
+	boot.Store(root, uint64(header))
+	boot.PWB(pmem.NoSite, root)
+	boot.PSync()
+	return m
+}
+
+// Attach reconstructs a Map from the header in rootSlot.
+func Attach(pool *pmem.Pool, rootSlot int) (*Map, error) {
+	boot := pool.NewThread(0)
+	header := pmem.Addr(boot.Load(pool.RootSlot(rootSlot)))
+	if header == pmem.Null {
+		return nil, fmt.Errorf("rhash: root slot %d holds no map", rootSlot)
+	}
+	table := pmem.Addr(boot.Load(header + hdrBuckets))
+	n := int(boot.Load(header + hdrNBuckets))
+	engTable := pmem.Addr(boot.Load(header + hdrTable))
+	threads := int(boot.Load(header + hdrThreads))
+	if table == pmem.Null || n <= 0 || engTable == pmem.Null || threads <= 0 {
+		return nil, fmt.Errorf("rhash: corrupt header at %#x", uint64(header))
+	}
+	eng := tracking.Attach(pool, engTable, threads, "rhash")
+	m := &Map{pool: pool, eng: eng, nBuckets: uint64(n), header: header}
+	for i := 0; i < n; i++ {
+		head := pmem.Addr(boot.Load(table + pmem.Addr(i*pmem.WordSize)))
+		if head == pmem.Null {
+			return nil, fmt.Errorf("rhash: bucket %d head missing", i)
+		}
+		m.buckets = append(m.buckets, rlist.AttachEmbedded(eng, pool, head))
+	}
+	return m, nil
+}
+
+// Handle binds a thread context to the map; one per simulated thread. Every
+// bucket handle shares the thread's CP/RD recovery data.
+type Handle struct {
+	m       *Map
+	th      *tracking.Thread
+	handles []*rlist.Handle
+}
+
+// Handle creates the per-thread handle for ctx.
+func (m *Map) Handle(ctx *pmem.ThreadCtx) *Handle {
+	th := m.eng.Thread(ctx)
+	h := &Handle{m: m, th: th, handles: make([]*rlist.Handle, len(m.buckets))}
+	for i, l := range m.buckets {
+		h.handles[i] = l.HandleWith(th)
+	}
+	return h
+}
+
+// Invoke performs the system-side invocation step; see tracking.Invoke.
+func (h *Handle) Invoke() { h.th.Invoke() }
+
+// hash mixes the key (splitmix64 finalizer) into a bucket index.
+func (m *Map) hash(key int64) uint64 {
+	x := uint64(key)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x & (m.nBuckets - 1)
+}
+
+func (h *Handle) bucket(key int64) *rlist.Handle {
+	return h.handles[h.m.hash(key)]
+}
+
+// Insert adds key and reports whether it was absent.
+func (h *Handle) Insert(key int64) bool { return h.bucket(key).Insert(key) }
+
+// Delete removes key and reports whether it was present.
+func (h *Handle) Delete(key int64) bool { return h.bucket(key).Delete(key) }
+
+// Find reports membership.
+func (h *Handle) Find(key int64) bool { return h.bucket(key).Find(key) }
+
+// RecoverInsert is Insert's recovery function; the system calls it with the
+// original argument, which routes it to the same bucket.
+func (h *Handle) RecoverInsert(key int64) bool { return h.bucket(key).RecoverInsert(key) }
+
+// RecoverDelete is Delete's recovery function.
+func (h *Handle) RecoverDelete(key int64) bool { return h.bucket(key).RecoverDelete(key) }
+
+// RecoverFind is Find's recovery function.
+func (h *Handle) RecoverFind(key int64) bool { return h.bucket(key).RecoverFind(key) }
+
+// Keys returns all keys (unordered across buckets; diagnostic).
+func (m *Map) Keys(ctx *pmem.ThreadCtx) []int64 {
+	var out []int64
+	for _, b := range m.buckets {
+		out = append(out, b.Keys(ctx)...)
+	}
+	return out
+}
+
+// CheckInvariants verifies every bucket's structure and that keys hash to
+// their buckets.
+func (m *Map) CheckInvariants(ctx *pmem.ThreadCtx, quiescent bool) error {
+	for i, b := range m.buckets {
+		if err := b.CheckInvariants(ctx, quiescent); err != nil {
+			return fmt.Errorf("rhash: bucket %d: %w", i, err)
+		}
+		for _, k := range b.Keys(ctx) {
+			if m.hash(k) != uint64(i) {
+				return fmt.Errorf("rhash: key %d in bucket %d, hashes to %d", k, i, m.hash(k))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+package rhash
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chaos"
+	"repro/internal/pmem"
+)
+
+func newMap(t testing.TB, mode pmem.Mode) (*pmem.Pool, *Map) {
+	t.Helper()
+	pool := pmem.New(pmem.Config{Mode: mode, CapacityWords: 1 << 20, MaxThreads: 16})
+	return pool, New(pool, 8, 16, 0)
+}
+
+func TestBasicOps(t *testing.T) {
+	pool, m := newMap(t, pmem.ModeStrict)
+	h := m.Handle(pool.NewThread(1))
+	if !h.Insert(5) || h.Insert(5) {
+		t.Fatal("insert semantics broken")
+	}
+	if !h.Find(5) || h.Find(6) {
+		t.Fatal("find semantics broken")
+	}
+	if !h.Delete(5) || h.Delete(5) {
+		t.Fatal("delete semantics broken")
+	}
+	if err := m.CheckInvariants(pool.NewThread(2), true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketRounding(t *testing.T) {
+	pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 16, MaxThreads: 2})
+	m := New(pool, 5, 2, 0) // rounds up to 8
+	if m.nBuckets != 8 {
+		t.Fatalf("nBuckets = %d, want 8", m.nBuckets)
+	}
+}
+
+func TestQuickModelEquivalence(t *testing.T) {
+	f := func(ops []uint16) bool {
+		pool, m := newMap(t, pmem.ModeStrict)
+		h := m.Handle(pool.NewThread(1))
+		model := map[int64]bool{}
+		for _, o := range ops {
+			key := int64(o%60) + 1
+			switch o % 3 {
+			case 0:
+				if h.Insert(key) != !model[key] {
+					return false
+				}
+				model[key] = true
+			case 1:
+				if h.Delete(key) != model[key] {
+					return false
+				}
+				delete(model, key)
+			default:
+				if h.Find(key) != model[key] {
+					return false
+				}
+			}
+		}
+		keys := m.Keys(pool.NewThread(2))
+		if len(keys) != len(model) {
+			return false
+		}
+		for _, k := range keys {
+			if !model[k] {
+				return false
+			}
+		}
+		return m.CheckInvariants(pool.NewThread(2), true) == nil
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(31))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttach(t *testing.T) {
+	pool, m := newMap(t, pmem.ModeStrict)
+	h := m.Handle(pool.NewThread(1))
+	h.Insert(42)
+	m2, err := Attach(pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := m2.Handle(pool.NewThread(2))
+	if !h2.Find(42) || h2.Find(43) {
+		t.Fatal("attached map sees wrong contents")
+	}
+	if _, err := Attach(pool, 3); err == nil {
+		t.Fatal("Attach on empty slot succeeded")
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	pool, m := newMap(t, pmem.ModeFast)
+	const threads = 6
+	var wg sync.WaitGroup
+	for tid := 1; tid <= threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			h := m.Handle(pool.NewThread(tid))
+			base := int64(tid * 10000)
+			for i := int64(0); i < 100; i++ {
+				if !h.Insert(base + i) {
+					t.Errorf("insert %d failed", base+i)
+					return
+				}
+			}
+			for i := int64(0); i < 100; i += 2 {
+				if !h.Delete(base + i) {
+					t.Errorf("delete %d failed", base+i)
+					return
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+	boot := pool.NewThread(0)
+	if err := m.CheckInvariants(boot, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.Keys(boot)); got != threads*50 {
+		t.Fatalf("len(Keys) = %d, want %d", got, threads*50)
+	}
+}
+
+// Chaos adapter.
+
+type mapThread struct{ h *Handle }
+
+func (mt mapThread) Invoke() { mt.h.Invoke() }
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (mt mapThread) Run(op chaos.Op) uint64 {
+	switch op.Kind {
+	case 0:
+		return b2u(mt.h.Insert(op.Key))
+	case 1:
+		return b2u(mt.h.Delete(op.Key))
+	default:
+		return b2u(mt.h.Find(op.Key))
+	}
+}
+
+func (mt mapThread) Recover(op chaos.Op) uint64 {
+	switch op.Kind {
+	case 0:
+		return b2u(mt.h.RecoverInsert(op.Key))
+	case 1:
+		return b2u(mt.h.RecoverDelete(op.Key))
+	default:
+		return b2u(mt.h.RecoverFind(op.Key))
+	}
+}
+
+func TestChaosMap(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 21, MaxThreads: 8})
+		New(pool, 8, 8, 0)
+		res, err := chaos.Run(chaos.Config{
+			Pool:         pool,
+			Threads:      4,
+			OpsPerThread: 30,
+			GenOp: func(rng *rand.Rand, tid, i int) chaos.Op {
+				return chaos.Op{Kind: rng.Intn(3), Key: rng.Int63n(32) + 1}
+			},
+			Reattach: func(pool *pmem.Pool) (chaos.ThreadFactory, error) {
+				m, err := Attach(pool, 0)
+				if err != nil {
+					return nil, err
+				}
+				return func(tid int) (chaos.Thread, error) {
+					return mapThread{h: m.Handle(pool.NewThread(tid))}, nil
+				}, nil
+			},
+			Seed:                       seed,
+			MaxCrashes:                 5,
+			MeanAccessesBetweenCrashes: 700,
+			CommitProb:                 0.5,
+			EvictProb:                  0.1,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		m, err := Attach(pool, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		boot := pool.NewThread(0)
+		if err := m.CheckInvariants(boot, true); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		classify := func(rec chaos.OpRecord) (int64, int) {
+			if rec.Result != 1 {
+				return rec.Op.Key, 0
+			}
+			switch rec.Op.Kind {
+			case 0:
+				return rec.Op.Key, 1
+			case 1:
+				return rec.Op.Key, -1
+			default:
+				return rec.Op.Key, 0
+			}
+		}
+		if err := chaos.CheckSetAlternation(res.Logs, classify, m.Keys(boot)); err != nil {
+			t.Fatalf("seed %d: %v (crashes %d)", seed, err, res.Crashes)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package rlist_test
+
+import (
+	"fmt"
+
+	"repro/internal/pmem"
+	"repro/internal/rlist"
+)
+
+// Example shows the full lifecycle of the detectably recoverable list:
+// operations, a crash, recovery of the interrupted operation.
+func Example() {
+	pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 16, MaxThreads: 2})
+	list := rlist.New(pool, 2, 0)
+	h := list.Handle(pool.NewThread(1))
+
+	fmt.Println(h.Insert(7), h.Find(7), h.Delete(7), h.Find(7))
+
+	// Crash in the middle of an insert.
+	pool.SetCrashAfter(20)
+	func() {
+		defer func() { recover() }()
+		h.Invoke()
+		h.Insert(42)
+	}()
+	pool.SetCrashAfter(0)
+	pool.Crash(pmem.CrashPolicy{})
+	pool.Recover()
+
+	recovered, err := rlist.Attach(pool, 0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	h2 := recovered.Handle(pool.NewThread(1))
+	fmt.Println(h2.RecoverInsert(42), h2.Find(42))
+	// Output:
+	// true true true false
+	// true true
+}

@@ -1,0 +1,419 @@
+package rlist
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pmem"
+	"repro/internal/tracking"
+)
+
+func newList(t testing.TB, mode pmem.Mode) (*pmem.Pool, *List) {
+	t.Helper()
+	pool := pmem.New(pmem.Config{Mode: mode, CapacityWords: 1 << 20, MaxThreads: 16})
+	return pool, New(pool, 16, 0)
+}
+
+func TestEmptyList(t *testing.T) {
+	pool, l := newList(t, pmem.ModeStrict)
+	h := l.Handle(pool.NewThread(1))
+	if h.Find(10) {
+		t.Fatal("Find on empty list returned true")
+	}
+	if h.Delete(10) {
+		t.Fatal("Delete on empty list returned true")
+	}
+	if got := l.Keys(h.ctx); len(got) != 0 {
+		t.Fatalf("Keys = %v", got)
+	}
+	if err := l.CheckInvariants(h.ctx, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertDeleteFind(t *testing.T) {
+	pool, l := newList(t, pmem.ModeStrict)
+	h := l.Handle(pool.NewThread(1))
+	if !h.Insert(5) {
+		t.Fatal("Insert(5) on empty list failed")
+	}
+	if h.Insert(5) {
+		t.Fatal("duplicate Insert(5) succeeded")
+	}
+	if !h.Find(5) {
+		t.Fatal("Find(5) after insert failed")
+	}
+	if h.Find(6) {
+		t.Fatal("Find(6) found a ghost")
+	}
+	if !h.Insert(3) || !h.Insert(7) {
+		t.Fatal("inserts failed")
+	}
+	want := []int64{3, 5, 7}
+	got := l.Keys(h.ctx)
+	if len(got) != len(want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", got, want)
+		}
+	}
+	if !h.Delete(5) {
+		t.Fatal("Delete(5) failed")
+	}
+	if h.Delete(5) {
+		t.Fatal("second Delete(5) succeeded")
+	}
+	if h.Find(5) {
+		t.Fatal("Find(5) after delete succeeded")
+	}
+	if err := l.CheckInvariants(h.ctx, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSentinelKeysPanic(t *testing.T) {
+	pool, l := newList(t, pmem.ModeStrict)
+	h := l.Handle(pool.NewThread(1))
+	for _, k := range []int64{math.MinInt64, math.MaxInt64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("key %d accepted", k)
+				}
+			}()
+			h.Insert(k)
+		}()
+	}
+}
+
+// TestQuickModelEquivalence drives the list and a map model with the same
+// random operations and compares every response and the final contents.
+func TestQuickModelEquivalence(t *testing.T) {
+	f := func(ops []uint16) bool {
+		pool, l := newList(t, pmem.ModeStrict)
+		h := l.Handle(pool.NewThread(1))
+		model := map[int64]bool{}
+		for _, o := range ops {
+			key := int64(o%50) + 1
+			switch o % 3 {
+			case 0:
+				if h.Insert(key) != !model[key] {
+					return false
+				}
+				model[key] = true
+			case 1:
+				if h.Delete(key) != model[key] {
+					return false
+				}
+				delete(model, key)
+			case 2:
+				if h.Find(key) != model[key] {
+					return false
+				}
+			}
+		}
+		keys := l.Keys(h.ctx)
+		if len(keys) != len(model) {
+			return false
+		}
+		for _, k := range keys {
+			if !model[k] {
+				return false
+			}
+		}
+		return l.CheckInvariants(h.ctx, true) == nil
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttach(t *testing.T) {
+	pool, l := newList(t, pmem.ModeStrict)
+	h := l.Handle(pool.NewThread(1))
+	h.Insert(1)
+	h.Insert(2)
+	l2, err := Attach(pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := l2.Handle(pool.NewThread(2))
+	if !h2.Find(1) || !h2.Find(2) || h2.Find(3) {
+		t.Fatal("attached list sees wrong contents")
+	}
+}
+
+func TestAttachEmptySlot(t *testing.T) {
+	pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 12, MaxThreads: 2})
+	if _, err := Attach(pool, 3); err == nil {
+		t.Fatal("Attach on an empty root slot succeeded")
+	}
+}
+
+type opKind int
+
+const (
+	opIns opKind = iota
+	opDel
+	opFnd
+)
+
+type scriptOp struct {
+	kind opKind
+	key  int64
+}
+
+func applyModel(model map[int64]bool, op scriptOp) bool {
+	switch op.kind {
+	case opIns:
+		if model[op.key] {
+			return false
+		}
+		model[op.key] = true
+		return true
+	case opDel:
+		if !model[op.key] {
+			return false
+		}
+		delete(model, op.key)
+		return true
+	default:
+		return model[op.key]
+	}
+}
+
+func runOp(h *Handle, op scriptOp) bool {
+	switch op.kind {
+	case opIns:
+		return h.Insert(op.key)
+	case opDel:
+		return h.Delete(op.key)
+	default:
+		return h.Find(op.key)
+	}
+}
+
+func recoverOp(h *Handle, op scriptOp) bool {
+	switch op.kind {
+	case opIns:
+		return h.RecoverInsert(op.key)
+	case opDel:
+		return h.RecoverDelete(op.key)
+	default:
+		return h.RecoverFind(op.key)
+	}
+}
+
+// TestCrashAtEveryPoint runs a fixed operation script, crashing at the
+// k-th persistent-memory access for every k until the script completes
+// crash-free, and checks detectable exactly-once recovery against a model.
+func TestCrashAtEveryPoint(t *testing.T) {
+	script := []scriptOp{
+		{opIns, 5}, {opIns, 9}, {opIns, 5}, {opFnd, 9}, {opDel, 5},
+		{opIns, 2}, {opDel, 9}, {opDel, 9}, {opFnd, 2}, {opIns, 7},
+		{opDel, 2}, {opIns, 5},
+	}
+	rng := rand.New(rand.NewSource(42))
+	for crashAt := int64(1); ; crashAt++ {
+		if crashAt > 40000 {
+			t.Fatal("script never completed crash-free; crash trigger leak?")
+		}
+		pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 18, MaxThreads: 4})
+		l := New(pool, 4, 0)
+		model := map[int64]bool{}
+		crashed := false
+		crashedIdx := -1
+		invoked := false // did the system invocation step of the crashed op complete?
+
+		pool.SetCrashAfter(crashAt)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if r != pmem.ErrCrashed {
+						panic(r)
+					}
+					crashed = true
+				}
+			}()
+			h := l.Handle(pool.NewThread(1))
+			for i, op := range script {
+				crashedIdx, invoked = i, false
+				// The system invokes the operation: a failure-atomic
+				// step. Only when it completed may a crash later in
+				// the op be resolved via the recovery function.
+				h.Invoke()
+				invoked = true
+				got := runOp(h, op)
+				want := applyModel(model, op)
+				if got != want {
+					t.Fatalf("crashAt=%d op %d: got %v want %v", crashAt, i, got, want)
+				}
+			}
+		}()
+		pool.SetCrashAfter(0)
+
+		if !crashed {
+			break
+		}
+		pool.Crash(pmem.CrashPolicy{Rng: rng, CommitProb: 0.5, EvictProb: 0.1})
+		pool.Recover()
+		l2, err := Attach(pool, 0)
+		if err != nil {
+			t.Fatalf("crashAt=%d: %v", crashAt, err)
+		}
+		h2 := l2.Handle(pool.NewThread(1))
+		// The system re-invokes the interrupted operation's recovery
+		// function with the same arguments; it executes exactly once.
+		// If the crash preceded the invocation step, the operation never
+		// started and the system simply invokes it normally.
+		op := script[crashedIdx]
+		var got bool
+		if invoked {
+			got = recoverOp(h2, op)
+		} else {
+			got = runOp(h2, op)
+		}
+		want := applyModel(model, op)
+		if got != want {
+			t.Fatalf("crashAt=%d: recovered op %d (%v %d) = %v, want %v",
+				crashAt, crashedIdx, op.kind, op.key, got, want)
+		}
+		// Finish the script after recovery.
+		for i := crashedIdx + 1; i < len(script); i++ {
+			got := runOp(h2, script[i])
+			want := applyModel(model, script[i])
+			if got != want {
+				t.Fatalf("crashAt=%d post-recovery op %d: got %v want %v", crashAt, i, got, want)
+			}
+		}
+		keys := l2.Keys(h2.ctx)
+		if len(keys) != len(model) {
+			t.Fatalf("crashAt=%d: final keys %v vs model %v", crashAt, keys, model)
+		}
+		for _, k := range keys {
+			if !model[k] {
+				t.Fatalf("crashAt=%d: ghost key %d", crashAt, k)
+			}
+		}
+		if err := l2.CheckInvariants(h2.ctx, true); err != nil {
+			t.Fatalf("crashAt=%d: %v", crashAt, err)
+		}
+	}
+}
+
+// TestConcurrentStress hammers the list from several goroutines and then
+// checks the per-key alternation oracle: for every key, successful inserts
+// and deletes alternate, so #ins - #del is 0 or 1 and equals the key's
+// final presence.
+func TestConcurrentStress(t *testing.T) {
+	pool, l := newList(t, pmem.ModeFast)
+	const threads = 6
+	const opsPer = 400
+	type rec struct {
+		ins, del uint64
+	}
+	counts := make([]map[int64]*rec, threads)
+
+	var wg sync.WaitGroup
+	for tid := 1; tid <= threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			h := l.Handle(pool.NewThread(tid))
+			rng := rand.New(rand.NewSource(int64(tid)))
+			mine := map[int64]*rec{}
+			counts[tid-1] = mine
+			for i := 0; i < opsPer; i++ {
+				key := int64(rng.Intn(40)) + 1
+				r := mine[key]
+				if r == nil {
+					r = &rec{}
+					mine[key] = r
+				}
+				switch rng.Intn(3) {
+				case 0:
+					if h.Insert(key) {
+						r.ins++
+					}
+				case 1:
+					if h.Delete(key) {
+						r.del++
+					}
+				default:
+					h.Find(key)
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+
+	boot := pool.NewThread(0)
+	if err := l.CheckInvariants(boot, true); err != nil {
+		t.Fatal(err)
+	}
+	present := map[int64]bool{}
+	for _, k := range l.Keys(boot) {
+		present[k] = true
+	}
+	totals := map[int64]*rec{}
+	for _, m := range counts {
+		for k, r := range m {
+			tr := totals[k]
+			if tr == nil {
+				tr = &rec{}
+				totals[k] = tr
+			}
+			tr.ins += r.ins
+			tr.del += r.del
+		}
+	}
+	for k, r := range totals {
+		net := int64(r.ins) - int64(r.del)
+		if net != 0 && net != 1 {
+			t.Fatalf("key %d: %d successful inserts vs %d deletes", k, r.ins, r.del)
+		}
+		if (net == 1) != present[k] {
+			t.Fatalf("key %d: net %d but present=%v", k, net, present[k])
+		}
+	}
+}
+
+// TestInsertCopiesCurr checks the ABA-avoidance mechanism: a successful
+// insert replaces its successor with a fresh copy, so the old successor
+// node leaves the list tagged.
+func TestInsertCopiesCurr(t *testing.T) {
+	pool, l := newList(t, pmem.ModeStrict)
+	h := l.Handle(pool.NewThread(1))
+	h.Insert(10)
+	// Locate node 10.
+	_, curr10, _, _ := h.search(10)
+	h.Insert(5) // replaces node 10 with a copy
+	_, curr10after, _, _ := h.search(10)
+	if curr10 == curr10after {
+		t.Fatal("insert did not replace its successor with a copy")
+	}
+	if !tracking.IsTagged(h.ctx.Load(curr10 + offInfo)) {
+		t.Fatal("replaced node is not left tagged")
+	}
+	if !h.Find(10) || !h.Find(5) {
+		t.Fatal("keys lost by copy")
+	}
+}
+
+func TestRecoverWithNothingPending(t *testing.T) {
+	pool, l := newList(t, pmem.ModeStrict)
+	h := l.Handle(pool.NewThread(1))
+	// No operation ever started: recovery must simply re-invoke.
+	if !h.RecoverInsert(4) {
+		t.Fatal("fresh RecoverInsert failed to insert")
+	}
+	if !h.Find(4) {
+		t.Fatal("key missing after recovery-path insert")
+	}
+}

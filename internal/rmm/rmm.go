@@ -1,0 +1,248 @@
+// Package rmm is a lock-free recoverable memory manager for the simulated
+// NVMM pool — the future-work direction Section 7 of Attiya et al. (PPoPP
+// 2022) closes with ("implementing lock-free recoverable memory managers",
+// citing Makalu). The data-structure packages in this repository use a
+// bump allocator and rely on a garbage collector, exactly like the paper's
+// implementations; this package provides the missing piece for long-running
+// deployments: a fixed-size-class block allocator whose metadata survives
+// crashes.
+//
+// Design, following Makalu's offline-recovery philosophy:
+//
+//   - a persistent bitmap records which blocks are allocated; set/clear
+//     bits are persisted with pwb+psync around the linearizing CAS;
+//   - threads reserve whole chunks of blocks from a shared cursor and then
+//     allocate privately within them, so the common path touches no shared
+//     cache line;
+//   - a crash can leak blocks (bit set, block unreachable: a free whose
+//     bit-clear write-back was lost, or an allocation that never got
+//     linked into the user structure) but can never double-allocate,
+//     because the bit's write-back is drained before Alloc returns;
+//   - RecoverGC rebuilds the bitmap offline from the user's reachable
+//     blocks after a crash, reclaiming every leak.
+package rmm
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/pmem"
+)
+
+// Header word offsets.
+const (
+	hdrBitmap  = 0
+	hdrBlocks  = pmem.WordSize
+	hdrBlockW  = 2 * pmem.WordSize
+	hdrNBlocks = 3 * pmem.WordSize
+	hdrLen     = 4
+)
+
+// chunkBlocks is how many blocks a thread reserves from the shared cursor
+// at a time.
+const chunkBlocks = 32
+
+type sites struct {
+	bit pmem.Site
+}
+
+// Allocator manages nBlocks fixed-size blocks carved out of a pool.
+type Allocator struct {
+	pool       *pmem.Pool
+	bitmap     pmem.Addr // nBlocks bits, word-packed
+	blocksBase pmem.Addr
+	blockWords int
+	nBlocks    int
+	header     pmem.Addr
+	cursor     atomic.Int64 // volatile chunk-reservation hint
+	s          sites
+}
+
+// New creates an allocator of nBlocks blocks of blockWords words each and
+// records its header in rootSlot.
+func New(pool *pmem.Pool, blockWords, nBlocks, rootSlot int) *Allocator {
+	if blockWords <= 0 || nBlocks <= 0 {
+		panic("rmm: invalid geometry")
+	}
+	boot := pool.NewThread(0)
+	bitmapWords := (nBlocks + 63) / 64
+	bitmap := boot.AllocLines((bitmapWords + pmem.LineWords - 1) / pmem.LineWords)
+	blocks := boot.AllocLines((nBlocks*blockWords + pmem.LineWords - 1) / pmem.LineWords)
+
+	header := boot.AllocLocal(hdrLen)
+	boot.Store(header+hdrBitmap, uint64(bitmap))
+	boot.Store(header+hdrBlocks, uint64(blocks))
+	boot.Store(header+hdrBlockW, uint64(blockWords))
+	boot.Store(header+hdrNBlocks, uint64(nBlocks))
+	boot.PWBRange(pmem.NoSite, header, hdrLen)
+	boot.PFence()
+	root := pool.RootSlot(rootSlot)
+	boot.Store(root, uint64(header))
+	boot.PWB(pmem.NoSite, root)
+	boot.PSync()
+
+	return &Allocator{
+		pool: pool, bitmap: bitmap, blocksBase: blocks,
+		blockWords: blockWords, nBlocks: nBlocks, header: header,
+		s: sites{bit: pool.RegisterSite("rmm/pwb-bitmap")},
+	}
+}
+
+// Attach reconstructs an Allocator from the header in rootSlot.
+func Attach(pool *pmem.Pool, rootSlot int) (*Allocator, error) {
+	boot := pool.NewThread(0)
+	header := pmem.Addr(boot.Load(pool.RootSlot(rootSlot)))
+	if header == pmem.Null {
+		return nil, fmt.Errorf("rmm: root slot %d holds no allocator", rootSlot)
+	}
+	a := &Allocator{
+		pool:       pool,
+		bitmap:     pmem.Addr(boot.Load(header + hdrBitmap)),
+		blocksBase: pmem.Addr(boot.Load(header + hdrBlocks)),
+		blockWords: int(boot.Load(header + hdrBlockW)),
+		nBlocks:    int(boot.Load(header + hdrNBlocks)),
+		header:     header,
+		s:          sites{bit: pool.RegisterSite("rmm/pwb-bitmap")},
+	}
+	if a.bitmap == pmem.Null || a.blockWords <= 0 || a.nBlocks <= 0 {
+		return nil, fmt.Errorf("rmm: corrupt header at %#x", uint64(header))
+	}
+	return a, nil
+}
+
+// BlockAddr returns the address of block i.
+func (a *Allocator) BlockAddr(i int) pmem.Addr {
+	return a.blocksBase + pmem.Addr(i*a.blockWords*pmem.WordSize)
+}
+
+// blockIndex is the inverse of BlockAddr.
+func (a *Allocator) blockIndex(addr pmem.Addr) (int, error) {
+	off := int(addr - a.blocksBase)
+	stride := a.blockWords * pmem.WordSize
+	if addr < a.blocksBase || off%stride != 0 || off/stride >= a.nBlocks {
+		return 0, fmt.Errorf("rmm: %#x is not a block address", uint64(addr))
+	}
+	return off / stride, nil
+}
+
+func (a *Allocator) bitWord(i int) (addr pmem.Addr, mask uint64) {
+	return a.bitmap + pmem.Addr(i/64*pmem.WordSize), 1 << uint(i%64)
+}
+
+// Handle is the per-thread face of the allocator.
+type Handle struct {
+	a      *Allocator
+	ctx    *pmem.ThreadCtx
+	lo, hi int // reserved chunk [lo, hi)
+}
+
+// Handle creates the per-thread handle for ctx.
+func (a *Allocator) Handle(ctx *pmem.ThreadCtx) *Handle {
+	return &Handle{a: a, ctx: ctx}
+}
+
+// Alloc claims a free block, zeroes it, and returns its address after the
+// bitmap bit is durable (so a crash can never hand the block out twice).
+// It returns Null when the allocator is exhausted.
+func (h *Handle) Alloc() pmem.Addr {
+	a := h.a
+	c := h.ctx
+	for round := 0; round < 2*(a.nBlocks/chunkBlocks+1); round++ {
+		if h.lo >= h.hi {
+			start := int(a.cursor.Add(chunkBlocks)) - chunkBlocks
+			h.lo = start % a.nBlocks
+			h.hi = h.lo + chunkBlocks
+			if h.hi > a.nBlocks {
+				h.hi = a.nBlocks
+			}
+		}
+		for i := h.lo; i < h.hi; i++ {
+			w, mask := a.bitWord(i)
+			v := c.Load(w)
+			if v&mask != 0 {
+				continue
+			}
+			if !c.CAS(w, v, v|mask) {
+				i-- // re-examine the same bit under the new word value
+				continue
+			}
+			h.lo = i + 1
+			c.PWB(a.s.bit, w)
+			c.PSync()
+			blk := a.BlockAddr(i)
+			for off := 0; off < a.blockWords; off++ {
+				c.Store(blk+pmem.Addr(off*pmem.WordSize), 0)
+			}
+			return blk
+		}
+		h.lo = h.hi // chunk exhausted; reserve another
+	}
+	return pmem.Null
+}
+
+// Free releases a block. The bit-clear is persisted; if the write-back is
+// lost to a crash the block leaks until the next RecoverGC, but is never
+// handed out twice.
+func (h *Handle) Free(addr pmem.Addr) error {
+	a := h.a
+	c := h.ctx
+	i, err := a.blockIndex(addr)
+	if err != nil {
+		return err
+	}
+	w, mask := a.bitWord(i)
+	for {
+		v := c.Load(w)
+		if v&mask == 0 {
+			return fmt.Errorf("rmm: double free of block %d", i)
+		}
+		if c.CAS(w, v, v&^mask) {
+			break
+		}
+	}
+	c.PWB(a.s.bit, w)
+	c.PSync()
+	return nil
+}
+
+// InUse counts allocated blocks (diagnostic).
+func (a *Allocator) InUse(ctx *pmem.ThreadCtx) int {
+	n := 0
+	for i := 0; i < a.nBlocks; i++ {
+		w, mask := a.bitWord(i)
+		if ctx.Load(w)&mask != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// RecoverGC rebuilds the allocation bitmap after a crash from the user's
+// reachable blocks: mark is called with a visit function and must invoke it
+// for the address of every block reachable from the application's roots.
+// Blocks whose bits were set but that are unreachable (leaked by the crash)
+// are reclaimed; reachable blocks whose bit-set write-back was lost are
+// re-marked. Must run before any thread allocates.
+func (a *Allocator) RecoverGC(ctx *pmem.ThreadCtx, mark func(visit func(pmem.Addr) error) error) error {
+	reachable := make([]uint64, (a.nBlocks+63)/64)
+	err := mark(func(addr pmem.Addr) error {
+		i, err := a.blockIndex(addr)
+		if err != nil {
+			return err
+		}
+		reachable[i/64] |= 1 << uint(i%64)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for wi := range reachable {
+		w := a.bitmap + pmem.Addr(wi*pmem.WordSize)
+		if ctx.Load(w) != reachable[wi] {
+			ctx.Store(w, reachable[wi])
+			ctx.PWB(a.s.bit, w)
+		}
+	}
+	ctx.PSync()
+	return nil
+}

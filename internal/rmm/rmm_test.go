@@ -1,0 +1,215 @@
+package rmm
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pmem"
+)
+
+func newAlloc(t testing.TB, mode pmem.Mode, blockWords, nBlocks int) (*pmem.Pool, *Allocator) {
+	t.Helper()
+	pool := pmem.New(pmem.Config{Mode: mode, CapacityWords: 1 << 18, MaxThreads: 16})
+	return pool, New(pool, blockWords, nBlocks, 0)
+}
+
+func TestAllocFreeCycle(t *testing.T) {
+	pool, a := newAlloc(t, pmem.ModeStrict, 4, 64)
+	h := a.Handle(pool.NewThread(1))
+	b1 := h.Alloc()
+	if b1 == pmem.Null {
+		t.Fatal("Alloc failed on fresh allocator")
+	}
+	// Fresh blocks are zeroed.
+	for i := 0; i < 4; i++ {
+		if v := h.ctx.Load(b1 + pmem.Addr(i*pmem.WordSize)); v != 0 {
+			t.Fatalf("block word %d = %d", i, v)
+		}
+	}
+	if a.InUse(h.ctx) != 1 {
+		t.Fatalf("InUse = %d", a.InUse(h.ctx))
+	}
+	if err := h.Free(b1); err != nil {
+		t.Fatal(err)
+	}
+	if a.InUse(h.ctx) != 0 {
+		t.Fatal("block not freed")
+	}
+	if err := h.Free(b1); err == nil {
+		t.Fatal("double free not detected")
+	}
+	if err := h.Free(b1 + 1); err == nil {
+		t.Fatal("bogus address accepted")
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	pool, a := newAlloc(t, pmem.ModeStrict, 2, 16)
+	h := a.Handle(pool.NewThread(1))
+	var got []pmem.Addr
+	for {
+		b := h.Alloc()
+		if b == pmem.Null {
+			break
+		}
+		got = append(got, b)
+	}
+	if len(got) != 16 {
+		t.Fatalf("allocated %d blocks, want 16", len(got))
+	}
+	// Free one; it must become allocatable again.
+	if err := h.Free(got[7]); err != nil {
+		t.Fatal(err)
+	}
+	if b := h.Alloc(); b != got[7] {
+		t.Fatalf("re-alloc = %#x, want %#x", uint64(b), uint64(got[7]))
+	}
+}
+
+func TestUniqueAddresses(t *testing.T) {
+	pool, a := newAlloc(t, pmem.ModeFast, 2, 512)
+	const threads = 6
+	var mu sync.Mutex
+	seen := map[pmem.Addr]int{}
+	var wg sync.WaitGroup
+	for tid := 1; tid <= threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			h := a.Handle(pool.NewThread(tid))
+			for i := 0; i < 64; i++ {
+				b := h.Alloc()
+				if b == pmem.Null {
+					t.Error("exhausted prematurely")
+					return
+				}
+				mu.Lock()
+				seen[b]++
+				mu.Unlock()
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if len(seen) != threads*64 {
+		t.Fatalf("%d unique blocks for %d allocations", len(seen), threads*64)
+	}
+	for b, n := range seen {
+		if n != 1 {
+			t.Fatalf("block %#x allocated %d times", uint64(b), n)
+		}
+	}
+}
+
+func TestBitDurableBeforeReturn(t *testing.T) {
+	pool, a := newAlloc(t, pmem.ModeStrict, 2, 32)
+	h := a.Handle(pool.NewThread(1))
+	b := h.Alloc()
+	// Worst-case crash immediately after Alloc returned.
+	pool.TriggerCrash()
+	pool.Crash(pmem.CrashPolicy{})
+	pool.Recover()
+	a2, err := Attach(pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := pool.NewThread(1)
+	if a2.InUse(ctx) != 1 {
+		t.Fatal("allocation bit lost despite Alloc having returned")
+	}
+	h2 := a2.Handle(ctx)
+	for i := 0; i < 31; i++ {
+		if got := h2.Alloc(); got == b {
+			t.Fatal("block double-allocated after crash")
+		}
+	}
+}
+
+func TestRecoverGC(t *testing.T) {
+	pool, a := newAlloc(t, pmem.ModeStrict, 2, 32)
+	h := a.Handle(pool.NewThread(1))
+	keep := h.Alloc()
+	leak := h.Alloc()
+	_ = leak // allocated but never linked anywhere: leaked by the "crash"
+	pool.TriggerCrash()
+	pool.Crash(pmem.CrashPolicy{})
+	pool.Recover()
+
+	a2, err := Attach(pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := pool.NewThread(1)
+	if a2.InUse(ctx) != 2 {
+		t.Fatalf("pre-GC InUse = %d, want 2", a2.InUse(ctx))
+	}
+	// The application's only root references keep.
+	err = a2.RecoverGC(ctx, func(visit func(pmem.Addr) error) error {
+		return visit(keep)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.InUse(ctx) != 1 {
+		t.Fatalf("post-GC InUse = %d, want 1 (leak not reclaimed)", a2.InUse(ctx))
+	}
+	// The reclaimed block is allocatable again; keep is not reissued.
+	h2 := a2.Handle(ctx)
+	for i := 0; i < 31; i++ {
+		if b := h2.Alloc(); b == keep {
+			t.Fatal("reachable block reissued after GC")
+		}
+	}
+}
+
+func TestRecoverGCRejectsBogusRoots(t *testing.T) {
+	pool, a := newAlloc(t, pmem.ModeStrict, 2, 8)
+	ctx := pool.NewThread(1)
+	err := a.RecoverGC(ctx, func(visit func(pmem.Addr) error) error {
+		return visit(pmem.Addr(12345))
+	})
+	if err == nil {
+		t.Fatal("bogus root accepted")
+	}
+}
+
+// TestQuickAllocFreeModel compares the allocator against a set model under
+// random alloc/free sequences.
+func TestQuickAllocFreeModel(t *testing.T) {
+	f := func(ops []uint8) bool {
+		pool, a := newAlloc(t, pmem.ModeStrict, 2, 24)
+		h := a.Handle(pool.NewThread(1))
+		live := map[pmem.Addr]bool{}
+		for _, o := range ops {
+			if o%2 == 0 {
+				b := h.Alloc()
+				if b == pmem.Null {
+					if len(live) != 24 {
+						return false // spurious exhaustion
+					}
+					continue
+				}
+				if live[b] {
+					return false // double allocation
+				}
+				live[b] = true
+			} else if len(live) > 0 {
+				var victim pmem.Addr
+				for b := range live {
+					victim = b
+					break
+				}
+				if err := h.Free(victim); err != nil {
+					return false
+				}
+				delete(live, victim)
+			}
+		}
+		return a.InUse(h.ctx) == len(live)
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(37))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

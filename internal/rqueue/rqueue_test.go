@@ -1,0 +1,296 @@
+package rqueue
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chaos"
+	"repro/internal/pmem"
+)
+
+func newQueue(t testing.TB, mode pmem.Mode) (*pmem.Pool, *Queue) {
+	t.Helper()
+	pool := pmem.New(pmem.Config{Mode: mode, CapacityWords: 1 << 20, MaxThreads: 16})
+	return pool, New(pool, 16, 0)
+}
+
+func TestEmptyDequeue(t *testing.T) {
+	pool, q := newQueue(t, pmem.ModeStrict)
+	h := q.Handle(pool.NewThread(1))
+	if v, ok := h.Dequeue(); ok || v != Empty {
+		t.Fatalf("empty dequeue = (%d,%v)", v, ok)
+	}
+	if err := q.CheckInvariants(h.ctx, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	pool, q := newQueue(t, pmem.ModeStrict)
+	h := q.Handle(pool.NewThread(1))
+	for v := uint64(10); v < 20; v++ {
+		h.Enqueue(v)
+	}
+	if got := q.Drain(h.ctx); len(got) != 10 {
+		t.Fatalf("Drain = %v", got)
+	}
+	for want := uint64(10); want < 20; want++ {
+		v, ok := h.Dequeue()
+		if !ok || v != want {
+			t.Fatalf("Dequeue = (%d,%v), want %d", v, ok, want)
+		}
+	}
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("dequeue from drained queue succeeded")
+	}
+	// Queue must remain usable after emptying.
+	h.Enqueue(99)
+	if v, ok := h.Dequeue(); !ok || v != 99 {
+		t.Fatalf("reuse after drain broken: (%d,%v)", v, ok)
+	}
+}
+
+func TestSentinelValuePanics(t *testing.T) {
+	pool, q := newQueue(t, pmem.ModeStrict)
+	h := q.Handle(pool.NewThread(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sentinel value accepted")
+		}
+	}()
+	h.Enqueue(Empty)
+}
+
+func TestAttach(t *testing.T) {
+	pool, q := newQueue(t, pmem.ModeStrict)
+	h := q.Handle(pool.NewThread(1))
+	h.Enqueue(7)
+	q2, err := Attach(pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := q2.Handle(pool.NewThread(2))
+	if v, ok := h2.Dequeue(); !ok || v != 7 {
+		t.Fatalf("attached queue dequeue = (%d,%v)", v, ok)
+	}
+	if _, err := Attach(pool, 3); err == nil {
+		t.Fatal("Attach on empty slot succeeded")
+	}
+}
+
+// TestQuickModelEquivalence compares against a slice model.
+func TestQuickModelEquivalence(t *testing.T) {
+	f := func(ops []uint8) bool {
+		pool, q := newQueue(t, pmem.ModeStrict)
+		h := q.Handle(pool.NewThread(1))
+		var model []uint64
+		next := uint64(100)
+		for _, o := range ops {
+			if o%2 == 0 {
+				h.Enqueue(next)
+				model = append(model, next)
+				next++
+			} else {
+				v, ok := h.Dequeue()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+		}
+		got := q.Drain(h.ctx)
+		if len(got) != len(model) {
+			return false
+		}
+		for i := range got {
+			if got[i] != model[i] {
+				return false
+			}
+		}
+		return q.CheckInvariants(h.ctx, true) == nil
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(29))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleProducerSingleConsumer(t *testing.T) {
+	pool, q := newQueue(t, pmem.ModeFast)
+	const n = 500
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		h := q.Handle(pool.NewThread(1))
+		for v := uint64(0); v < n; v++ {
+			h.Enqueue(v)
+		}
+	}()
+	var got []uint64
+	go func() {
+		defer wg.Done()
+		h := q.Handle(pool.NewThread(2))
+		for len(got) < n {
+			if v, ok := h.Dequeue(); ok {
+				got = append(got, v)
+			}
+		}
+	}()
+	wg.Wait()
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("FIFO violated at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	pool, q := newQueue(t, pmem.ModeFast)
+	const threads = 4
+	const opsPer = 300
+	dequeued := make([]map[uint64]int, threads)
+	var wg sync.WaitGroup
+	for tid := 1; tid <= threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			h := q.Handle(pool.NewThread(tid))
+			rng := rand.New(rand.NewSource(int64(tid) * 13))
+			mine := map[uint64]int{}
+			dequeued[tid-1] = mine
+			for i := 0; i < opsPer; i++ {
+				if rng.Intn(2) == 0 {
+					h.Enqueue(uint64(tid*1000000 + i))
+				} else if v, ok := h.Dequeue(); ok {
+					mine[v]++
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+
+	boot := pool.NewThread(0)
+	if err := q.CheckInvariants(boot, true); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]int{}
+	for _, m := range dequeued {
+		for v, n := range m {
+			seen[v] += n
+		}
+	}
+	for _, v := range q.Drain(boot) {
+		seen[v]++
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d observed %d times", v, n)
+		}
+	}
+}
+
+// Chaos adapter: Kind 0 = enqueue (Key is the value), Kind 1 = dequeue.
+
+type qThread struct{ h *Handle }
+
+func (qt qThread) Invoke() { qt.h.Invoke() }
+
+func (qt qThread) Run(op chaos.Op) uint64 {
+	if op.Kind == 0 {
+		qt.h.Enqueue(uint64(op.Key))
+		return 1
+	}
+	v, _ := qt.h.Dequeue()
+	return v
+}
+
+func (qt qThread) Recover(op chaos.Op) uint64 {
+	if op.Kind == 0 {
+		qt.h.RecoverEnqueue(uint64(op.Key))
+		return 1
+	}
+	v, _ := qt.h.RecoverDequeue()
+	return v
+}
+
+func TestChaosQueue(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 21, MaxThreads: 8})
+		New(pool, 8, 0)
+		res, err := chaos.Run(chaos.Config{
+			Pool:         pool,
+			Threads:      4,
+			OpsPerThread: 30,
+			GenOp: func(rng *rand.Rand, tid, i int) chaos.Op {
+				if rng.Intn(2) == 0 {
+					return chaos.Op{Kind: 0, Key: int64(tid*1000000 + i)} // unique value
+				}
+				return chaos.Op{Kind: 1}
+			},
+			Reattach: func(pool *pmem.Pool) (chaos.ThreadFactory, error) {
+				q, err := Attach(pool, 0)
+				if err != nil {
+					return nil, err
+				}
+				return func(tid int) (chaos.Thread, error) {
+					return qThread{h: q.Handle(pool.NewThread(tid))}, nil
+				}, nil
+			},
+			Seed:                       seed,
+			MaxCrashes:                 6,
+			MeanAccessesBetweenCrashes: 600,
+			CommitProb:                 0.5,
+			EvictProb:                  0.1,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		// Conservation oracle: every enqueued value is observed exactly
+		// once — either dequeued by someone or still in the queue.
+		enqueued := map[uint64]bool{}
+		seen := map[uint64]int{}
+		for _, log := range res.Logs {
+			for _, rec := range log {
+				if rec.Op.Kind == 0 {
+					enqueued[uint64(rec.Op.Key)] = true
+				} else if rec.Result != Empty {
+					seen[rec.Result]++
+				}
+			}
+		}
+		q, err := Attach(pool, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		boot := pool.NewThread(0)
+		if err := q.CheckInvariants(boot, true); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, v := range q.Drain(boot) {
+			seen[v]++
+		}
+		for v, n := range seen {
+			if !enqueued[v] {
+				t.Fatalf("seed %d: value %d appeared but was never enqueued (crashes %d)", seed, v, res.Crashes)
+			}
+			if n != 1 {
+				t.Fatalf("seed %d: value %d observed %d times (crashes %d)", seed, v, n, res.Crashes)
+			}
+		}
+		for v := range enqueued {
+			if seen[v] != 1 {
+				t.Fatalf("seed %d: enqueued value %d lost (crashes %d)", seed, v, res.Crashes)
+			}
+		}
+	}
+}

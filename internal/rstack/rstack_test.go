@@ -1,0 +1,266 @@
+package rstack
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chaos"
+	"repro/internal/pmem"
+)
+
+func newStack(t testing.TB, mode pmem.Mode) (*pmem.Pool, *Stack) {
+	t.Helper()
+	pool := pmem.New(pmem.Config{Mode: mode, CapacityWords: 1 << 20, MaxThreads: 16})
+	return pool, New(pool, 16, 0)
+}
+
+func TestEmptyPop(t *testing.T) {
+	pool, s := newStack(t, pmem.ModeStrict)
+	h := s.Handle(pool.NewThread(1))
+	if v, ok := h.Pop(); ok || v != Empty {
+		t.Fatalf("empty pop = (%d,%v)", v, ok)
+	}
+	if err := s.CheckInvariants(h.ctx, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLIFOOrder(t *testing.T) {
+	pool, s := newStack(t, pmem.ModeStrict)
+	h := s.Handle(pool.NewThread(1))
+	for v := uint64(1); v <= 10; v++ {
+		h.Push(v)
+	}
+	snap := s.Snapshot(h.ctx)
+	if len(snap) != 10 || snap[0] != 10 || snap[9] != 1 {
+		t.Fatalf("Snapshot = %v", snap)
+	}
+	for want := uint64(10); want >= 1; want-- {
+		v, ok := h.Pop()
+		if !ok || v != want {
+			t.Fatalf("Pop = (%d,%v), want %d", v, ok, want)
+		}
+	}
+	if _, ok := h.Pop(); ok {
+		t.Fatal("pop from drained stack succeeded")
+	}
+	// Reusable after emptying (the sentinel survives as copies).
+	h.Push(77)
+	if v, ok := h.Pop(); !ok || v != 77 {
+		t.Fatalf("reuse broken: (%d,%v)", v, ok)
+	}
+	if err := s.CheckInvariants(h.ctx, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSentinelValuePanics(t *testing.T) {
+	pool, s := newStack(t, pmem.ModeStrict)
+	h := s.Handle(pool.NewThread(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sentinel value accepted")
+		}
+	}()
+	h.Push(Empty)
+}
+
+func TestAttach(t *testing.T) {
+	pool, s := newStack(t, pmem.ModeStrict)
+	h := s.Handle(pool.NewThread(1))
+	h.Push(5)
+	s2, err := Attach(pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := s2.Handle(pool.NewThread(2))
+	if v, ok := h2.Pop(); !ok || v != 5 {
+		t.Fatalf("attached stack pop = (%d,%v)", v, ok)
+	}
+	if _, err := Attach(pool, 3); err == nil {
+		t.Fatal("Attach on empty slot succeeded")
+	}
+}
+
+func TestQuickModelEquivalence(t *testing.T) {
+	f := func(ops []uint8) bool {
+		pool, s := newStack(t, pmem.ModeStrict)
+		h := s.Handle(pool.NewThread(1))
+		var model []uint64
+		next := uint64(100)
+		for _, o := range ops {
+			if o%2 == 0 {
+				h.Push(next)
+				model = append(model, next)
+				next++
+			} else {
+				v, ok := h.Pop()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					want := model[len(model)-1]
+					if !ok || v != want {
+						return false
+					}
+					model = model[:len(model)-1]
+				}
+			}
+		}
+		snap := s.Snapshot(h.ctx)
+		if len(snap) != len(model) {
+			return false
+		}
+		for i := range snap {
+			if snap[i] != model[len(model)-1-i] {
+				return false
+			}
+		}
+		return s.CheckInvariants(h.ctx, true) == nil
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(41))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	pool, s := newStack(t, pmem.ModeFast)
+	const threads = 4
+	const opsPer = 250
+	popped := make([]map[uint64]int, threads)
+	var wg sync.WaitGroup
+	for tid := 1; tid <= threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			h := s.Handle(pool.NewThread(tid))
+			rng := rand.New(rand.NewSource(int64(tid) * 17))
+			mine := map[uint64]int{}
+			popped[tid-1] = mine
+			for i := 0; i < opsPer; i++ {
+				if rng.Intn(2) == 0 {
+					h.Push(uint64(tid*1000000 + i))
+				} else if v, ok := h.Pop(); ok {
+					mine[v]++
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+	boot := pool.NewThread(0)
+	if err := s.CheckInvariants(boot, true); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]int{}
+	for _, m := range popped {
+		for v, n := range m {
+			seen[v] += n
+		}
+	}
+	for _, v := range s.Snapshot(boot) {
+		seen[v]++
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d observed %d times", v, n)
+		}
+	}
+}
+
+// Chaos adapter: Kind 0 = push (Key is the value), Kind 1 = pop.
+
+type sThread struct{ h *Handle }
+
+func (st sThread) Invoke() { st.h.Invoke() }
+
+func (st sThread) Run(op chaos.Op) uint64 {
+	if op.Kind == 0 {
+		st.h.Push(uint64(op.Key))
+		return 1
+	}
+	v, _ := st.h.Pop()
+	return v
+}
+
+func (st sThread) Recover(op chaos.Op) uint64 {
+	if op.Kind == 0 {
+		st.h.RecoverPush(uint64(op.Key))
+		return 1
+	}
+	v, _ := st.h.RecoverPop()
+	return v
+}
+
+func TestChaosStack(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 21, MaxThreads: 8})
+		New(pool, 8, 0)
+		res, err := chaos.Run(chaos.Config{
+			Pool:         pool,
+			Threads:      4,
+			OpsPerThread: 30,
+			GenOp: func(rng *rand.Rand, tid, i int) chaos.Op {
+				if rng.Intn(2) == 0 {
+					return chaos.Op{Kind: 0, Key: int64(tid*1000000 + i)} // unique value
+				}
+				return chaos.Op{Kind: 1}
+			},
+			Reattach: func(pool *pmem.Pool) (chaos.ThreadFactory, error) {
+				s, err := Attach(pool, 0)
+				if err != nil {
+					return nil, err
+				}
+				return func(tid int) (chaos.Thread, error) {
+					return sThread{h: s.Handle(pool.NewThread(tid))}, nil
+				}, nil
+			},
+			Seed:                       seed,
+			MaxCrashes:                 6,
+			MeanAccessesBetweenCrashes: 600,
+			CommitProb:                 0.5,
+			EvictProb:                  0.1,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		pushed := map[uint64]bool{}
+		seen := map[uint64]int{}
+		for _, log := range res.Logs {
+			for _, rec := range log {
+				if rec.Op.Kind == 0 {
+					pushed[uint64(rec.Op.Key)] = true
+				} else if rec.Result != Empty {
+					seen[rec.Result]++
+				}
+			}
+		}
+		s, err := Attach(pool, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		boot := pool.NewThread(0)
+		if err := s.CheckInvariants(boot, true); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, v := range s.Snapshot(boot) {
+			seen[v]++
+		}
+		for v, n := range seen {
+			if !pushed[v] {
+				t.Fatalf("seed %d: value %d appeared but was never pushed (crashes %d)", seed, v, res.Crashes)
+			}
+			if n != 1 {
+				t.Fatalf("seed %d: value %d observed %d times (crashes %d)", seed, v, n, res.Crashes)
+			}
+		}
+		for v := range pushed {
+			if seen[v] != 1 {
+				t.Fatalf("seed %d: pushed value %d lost (crashes %d)", seed, v, res.Crashes)
+			}
+		}
+	}
+}
