@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test race bench-pmem ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-pmem measures the simulated-NVMM substrate itself and records the
+# result; regressions here silently distort every structure benchmark, so
+# CI keeps a trajectory of BENCH_pmem.json.
+bench-pmem:
+	$(GO) run ./cmd/benchrunner -substrate -threads 1,2,4,8,16 -out BENCH_pmem.json
+	@cat BENCH_pmem.json
+
+ci:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+	$(MAKE) bench-pmem

@@ -1,0 +1,157 @@
+package bench
+
+// Substrate microbenchmarks: the raw per-operation cost of the simulated
+// NVMM itself, measured through the same exported API the structures use.
+// The paper's evaluation attributes throughput differences between
+// configurations to persistence instructions; that attribution is only
+// sound when the simulator's own overhead is small and free of
+// simulator-induced contention, so the benchrunner records these numbers
+// (BENCH_pmem.json) alongside every structure benchmark. The same loops
+// exist as testing.B benchmarks in internal/pmem/bench_test.go; this
+// exported harness is for trend tracking from CI.
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/pmem"
+)
+
+// SubstratePoint is the measured cost of one substrate operation at one
+// concurrency level.
+type SubstratePoint struct {
+	Op         string  `json:"op"`
+	Mode       string  `json:"mode"`
+	Goroutines int     `json:"goroutines"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+// SubstrateReport is the full substrate measurement, as serialized into
+// BENCH_pmem.json.
+type SubstrateReport struct {
+	// SpinUnitNs is the measured wall-clock cost of one abstract spin
+	// unit, relating the fast-mode cost model to nanoseconds on this host.
+	SpinUnitNs float64          `json:"spin_unit_ns"`
+	Points     []SubstratePoint `json:"points"`
+}
+
+// substrateLanes matches the bench_test.go working set: each goroutine
+// cycles through this many private cache lines, keeping the benchmark
+// L1-resident.
+const substrateLanes = 16
+
+// substrateOp is one benchmarkable substrate operation.
+type substrateOp struct {
+	name string
+	mode pmem.Mode
+	body func(ctx *pmem.ThreadCtx, s pmem.Site, base pmem.Addr, n int)
+}
+
+func substrateOps() []substrateOp {
+	lane := func(base pmem.Addr, i int) pmem.Addr {
+		return base + pmem.Addr((i&(substrateLanes-1))*pmem.LineBytes)
+	}
+	return []substrateOp{
+		{"load", pmem.ModeFast, func(ctx *pmem.ThreadCtx, _ pmem.Site, base pmem.Addr, n int) {
+			for i := 0; i < n; i++ {
+				ctx.Load(lane(base, i))
+			}
+		}},
+		{"store", pmem.ModeFast, func(ctx *pmem.ThreadCtx, _ pmem.Site, base pmem.Addr, n int) {
+			for i := 0; i < n; i++ {
+				ctx.Store(lane(base, i), uint64(i))
+			}
+		}},
+		{"cas", pmem.ModeFast, func(ctx *pmem.ThreadCtx, _ pmem.Site, base pmem.Addr, n int) {
+			for i := 0; i < n; i++ {
+				ctx.CAS(base, uint64(i), uint64(i+1))
+			}
+		}},
+		{"pwb", pmem.ModeFast, func(ctx *pmem.ThreadCtx, s pmem.Site, base pmem.Addr, n int) {
+			for i := 0; i < n; i++ {
+				ctx.PWB(s, lane(base, i))
+			}
+		}},
+		{"psync", pmem.ModeFast, func(ctx *pmem.ThreadCtx, _ pmem.Site, base pmem.Addr, n int) {
+			for i := 0; i < n; i++ {
+				ctx.PSync()
+			}
+		}},
+		{"flushop", pmem.ModeFast, func(ctx *pmem.ThreadCtx, s pmem.Site, base pmem.Addr, n int) {
+			for i := 0; i < n; i++ {
+				a := lane(base, i)
+				ctx.Store(a, uint64(i))
+				ctx.PWB(s, a)
+				ctx.PSync()
+			}
+		}},
+		{"strict-pwb", pmem.ModeStrict, func(ctx *pmem.ThreadCtx, s pmem.Site, base pmem.Addr, n int) {
+			for i := 0; i < n; i++ {
+				ctx.PWB(s, lane(base, i))
+				if i&63 == 63 {
+					ctx.PSync()
+				}
+			}
+			ctx.PSync()
+		}},
+	}
+}
+
+// Substrate measures every substrate operation at each concurrency level,
+// opsPerPoint operations per data point (0 picks a default).
+func Substrate(goroutines []int, opsPerPoint int) SubstrateReport {
+	if len(goroutines) == 0 {
+		goroutines = []int{1, 2, 4, 8, 16}
+	}
+	if opsPerPoint <= 0 {
+		opsPerPoint = 2_000_000
+	}
+	rep := SubstrateReport{SpinUnitNs: pmem.CalibrateSpin()}
+	for _, op := range substrateOps() {
+		for _, g := range goroutines {
+			rep.Points = append(rep.Points, SubstratePoint{
+				Op:         op.name,
+				Mode:       modeName(op.mode),
+				Goroutines: g,
+				NsPerOp:    runSubstrateOp(op, g, opsPerPoint),
+			})
+		}
+	}
+	return rep
+}
+
+func modeName(m pmem.Mode) string {
+	if m == pmem.ModeStrict {
+		return "strict"
+	}
+	return "fast"
+}
+
+// runSubstrateOp partitions total operations over g goroutines, each with
+// a private ThreadCtx and line-aligned region, and times the whole batch.
+func runSubstrateOp(op substrateOp, g, total int) float64 {
+	p := pmem.New(pmem.Config{Mode: op.mode, CapacityWords: 1 << 16, MaxThreads: g + 1})
+	s := p.RegisterSite("substrate/" + op.name)
+	ctxs := make([]*pmem.ThreadCtx, g)
+	bases := make([]pmem.Addr, g)
+	for t := 0; t < g; t++ {
+		ctxs[t] = p.NewThread(t)
+		bases[t] = ctxs[t].AllocLines(substrateLanes)
+	}
+	per := total / g
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 0; t < g; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			n := per
+			if t == 0 {
+				n += total - per*g
+			}
+			op.body(ctxs[t], s, bases[t], n)
+		}(t)
+	}
+	wg.Wait()
+	return float64(time.Since(start).Nanoseconds()) / float64(total)
+}

@@ -168,9 +168,11 @@ type List struct {
 // New creates an empty list and records its header in rootSlot.
 func New(pool *pmem.Pool, variant Variant, maxThreads, rootSlot int) *List {
 	boot := pool.NewThread(0)
-	tail := boot.AllocLocal(nodeLen)
+	// head.next is the CAS target of every update; private lines for the
+	// sentinels keep that traffic off the boot thread's other allocations.
+	tail := boot.AllocLines(1)
 	boot.Store(tail+offKey, keyBits(math.MaxInt64))
-	head := boot.AllocLocal(nodeLen)
+	head := boot.AllocLines(1)
 	boot.Store(head+offKey, keyBits(math.MinInt64))
 	boot.Store(head+offNext, encode(tail, 0, false))
 	table := boot.AllocLines(maxThreads)

@@ -33,7 +33,7 @@ func (p *Pool) Crash(pol CrashPolicy) {
 	if p.mode != ModeStrict {
 		panic("pmem: Crash requires ModeStrict")
 	}
-	if p.crashFlag.Load() == 0 {
+	if atomic.LoadUint32(&p.crashCtl)&ctlCrashed == 0 {
 		panic("pmem: Crash without TriggerCrash")
 	}
 	p.mu.Lock()
@@ -57,6 +57,7 @@ func (p *Pool) Crash(pol CrashPolicy) {
 func (p *Pool) crashThread(ctx *ThreadCtx, pol CrashPolicy) {
 	pending := ctx.pending
 	ctx.pending = nil
+	ctx.epochStart = 0
 	if len(pending) == 0 {
 		return
 	}
@@ -94,7 +95,7 @@ func (p *Pool) crashThread(ctx *ThreadCtx, pol CrashPolicy) {
 // evicted store could only have reached the cache after its earlier fenced
 // flushes completed (sfence ordering on the modelled hardware).
 func (p *Pool) evictDirty(ctxs []*ThreadCtx, pol CrashPolicy) {
-	limit := (int(p.allocWords.Load()) + LineWords - 1) / LineWords
+	limit := (p.AllocatedWords() + LineWords - 1) / LineWords
 	for line := 0; line < limit && line < len(p.dirty); line++ {
 		if atomic.LoadUint32(&p.dirty[line]) == 0 {
 			continue
@@ -109,13 +110,8 @@ func (p *Pool) evictDirty(ctxs []*ThreadCtx, pol CrashPolicy) {
 				}
 			}
 		}
-		var e wbEntry
-		e.line = line
-		base := line * LineWords
-		for i := 0; i < LineWords; i++ {
-			e.vers[i] = atomic.LoadUint64(&p.wver[base+i])
-			e.vals[i] = atomic.LoadUint64(&p.words[base+i])
-		}
+		e := wbEntry{line: line}
+		p.snapLine(&e)
 		p.commitLine(&e)
 	}
 }
@@ -128,9 +124,9 @@ func (p *Pool) Recover() {
 	if p.mode != ModeStrict {
 		panic("pmem: Recover requires ModeStrict")
 	}
-	limit := int(p.allocWords.Load())
+	limit := p.AllocatedWords()
 	for wi := 0; wi < limit; wi++ {
-		atomic.StoreUint64(&p.words[wi], atomic.LoadUint64(&p.durable[wi]))
+		p.storeWord(wi, atomic.LoadUint64(&p.durable[wi]))
 		atomic.StoreUint64(&p.wver[wi], atomic.LoadUint64(&p.dver[wi]))
 	}
 	for line := range p.dirty {
@@ -141,5 +137,11 @@ func (p *Pool) Recover() {
 	// snapshots by detaching them; their pendings were consumed by Crash.
 	p.ctxs = nil
 	p.mu.Unlock()
-	p.crashFlag.Store(0)
+	p.clearCrashCtl(ctlCrashed)
+	// A fired countdown stays consumed; a still-positive countdown
+	// (TriggerCrash raced an armed SetCrashAfter) keeps counting.
+	if p.crashAfter.Load() <= 0 {
+		p.clearCrashCtl(ctlCounting)
+		p.crashAfter.Store(0)
+	}
 }

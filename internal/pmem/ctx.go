@@ -24,17 +24,25 @@ type ThreadCtx struct {
 	pool *Pool
 	tid  int
 
-	pending []wbEntry // ModeStrict: scheduled, un-synced write-backs
+	// Owner-only state, never touched by other threads.
+	pending    []wbEntry // ModeStrict: scheduled, un-synced write-backs
+	epochStart int       // index in pending of the current fence epoch
 
 	localOff, localEnd int // per-thread allocation chunk, in words
 
-	// Counters. They are written only by the owning thread but read by
-	// Stats snapshots while the run is in flight, hence the atomics.
-	pwbPerSite []atomic.Uint64
-	pwbTotal   atomic.Uint64
+	siteGen  uint64   // generation of the cached site-enabled bitmask
+	siteBits []uint64 // cached copy of the pool's enabled bitmask
+
+	// Counters. The owner updates each with one uncontended atomic add
+	// (its line stays exclusive in the owner's cache); Stats snapshots
+	// read them while the run is in flight, hence the atomics. The pad
+	// keeps another heap object's hot fields off the counters' lines.
+	_          [64]byte
+	pwbPerSite []atomic.Uint64 // header swapped only by the owner, see countPWB
 	psyncs     atomic.Uint64
 	pfences    atomic.Uint64
 	spun       atomic.Uint64 // total simulated spin units charged
+	_          [64]byte
 }
 
 // NewThread creates the ThreadCtx for thread id tid. Ids must be unique and
@@ -79,7 +87,8 @@ const localChunkWords = 1024
 // real NVMM allocator with thread-local arenas, it keeps freshly allocated
 // objects of different threads in different cache lines, so flushing
 // not-yet-shared data stays cheap (one of the paper's Low-impact pwb
-// classes). n must not exceed the chunk size.
+// classes). The global bump pointer is touched once per chunk refill, not
+// once per allocation. n must not exceed the chunk size.
 func (ctx *ThreadCtx) AllocLocal(n int) Addr {
 	ctx.pool.checkCrash()
 	if n > localChunkWords {
@@ -95,21 +104,25 @@ func (ctx *ThreadCtx) AllocLocal(n int) Addr {
 	return a
 }
 
-// Load atomically reads the word at a from the volatile view.
-func (ctx *ThreadCtx) Load(a Addr) uint64 {
-	p := ctx.pool
-	p.checkCrash()
-	return atomic.LoadUint64(&p.words[p.wordIndex(a)])
-}
+// Load lives in words_relaxed.go / words_atomic.go: it is the one accessor
+// hot (and small) enough to be worth fitting into the inlining budget,
+// which requires reading crashCtl and wordLimit as direct fields.
+
+// The accessors below fold the crash check, the alignment check and the
+// bounds check into one branch on the common path; see slowpathCheck for
+// the rare cases.
 
 // Store atomically writes v to the word at a in the volatile view and marks
 // its line dirty. The write becomes durable only after a PWB of its line
 // completes (or the line is evicted).
 func (ctx *ThreadCtx) Store(a Addr, v uint64) {
 	p := ctx.pool
-	p.checkCrash()
-	wi := p.wordIndex(a)
-	atomic.StoreUint64(&p.words[wi], v)
+	wi := int(a >> 3)
+	if uint64(p.ctlFast())|(uint64(a)&(WordSize-1)) != 0 ||
+		uint(wi-1) >= uint(len(p.words)-1) {
+		wi = p.slowpathCheck(a)
+	}
+	p.storeWord(wi, v)
 	if p.mode == ModeStrict {
 		ctx.markWrite(wi)
 	}
@@ -136,7 +149,7 @@ func (ctx *ThreadCtx) StoreDurable(s Site, a Addr, v uint64) {
 	p := ctx.pool
 	p.checkCrash()
 	wi := p.wordIndex(a)
-	atomic.StoreUint64(&p.words[wi], v)
+	p.storeWord(wi, v)
 	switch p.mode {
 	case ModeStrict:
 		atomic.StoreUint32(&p.dirty[wi/LineWords], 1)
@@ -155,17 +168,27 @@ func (ctx *ThreadCtx) StoreDurable(s Site, a Addr, v uint64) {
 	case ModeFast:
 		ctx.chargePWB(wi / LineWords)
 	}
-	if p.siteEnabled(s) {
+	if ctx.siteOn(s) {
 		ctx.countPWB(s)
 	}
 }
 
 // CAS atomically compares-and-swaps the word at a and reports success.
+//
+// The compare always runs the real CMPXCHG, deliberately without a
+// test-and-test-and-set shortcut: hardware charges the full locked
+// read-modify-write even when the compare fails, so resolving a doomed
+// CAS from a plain read would undercharge exactly the contended
+// executions the simulation is supposed to price. The locked operation's
+// cost is irreducible and part of the modeled instruction mix.
 func (ctx *ThreadCtx) CAS(a Addr, old, new uint64) bool {
 	p := ctx.pool
-	p.checkCrash()
-	wi := p.wordIndex(a)
-	ok := atomic.CompareAndSwapUint64(&p.words[wi], old, new)
+	wi := int(a >> 3)
+	if uint64(p.ctlFast())|(uint64(a)&(WordSize-1)) != 0 ||
+		uint(wi-1) >= uint(len(p.words)-1) {
+		wi = p.slowpathCheck(a)
+	}
+	ok := p.casWord(wi, old, new)
 	if ok && p.mode == ModeStrict {
 		ctx.markWrite(wi)
 	}
@@ -179,11 +202,11 @@ func (ctx *ThreadCtx) CASV(a Addr, old, new uint64) (prev uint64, ok bool) {
 	p.checkCrash()
 	wi := p.wordIndex(a)
 	for {
-		cur := atomic.LoadUint64(&p.words[wi])
+		cur := p.loadWord(wi)
 		if cur != old {
 			return cur, false
 		}
-		if atomic.CompareAndSwapUint64(&p.words[wi], old, new) {
+		if p.casWord(wi, old, new) {
 			if p.mode == ModeStrict {
 				ctx.markWrite(wi)
 			}
@@ -198,17 +221,19 @@ func (ctx *ThreadCtx) CASV(a Addr, old, new uint64) (prev uint64, ok bool) {
 // removed" experiments).
 func (ctx *ThreadCtx) PWB(s Site, a Addr) {
 	p := ctx.pool
-	p.checkCrash()
-	if !p.siteEnabled(s) {
+	wi := int(a >> 3)
+	if uint64(p.ctlFast())|(uint64(a)&(WordSize-1)) != 0 ||
+		uint(wi-1) >= uint(len(p.words)-1) {
+		wi = p.slowpathCheck(a)
+	}
+	if !ctx.siteOn(s) {
 		return
 	}
 	ctx.countPWB(s)
-	wi := p.wordIndex(a)
 	line := wi / LineWords
-	switch p.mode {
-	case ModeStrict:
+	if p.mode == ModeStrict {
 		ctx.captureLine(line)
-	case ModeFast:
+	} else {
 		ctx.chargePWB(line)
 	}
 }
@@ -221,41 +246,70 @@ func (ctx *ThreadCtx) PWBRange(s Site, a Addr, words int) {
 	}
 	p := ctx.pool
 	p.checkCrash()
-	if !p.siteEnabled(s) {
+	if !ctx.siteOn(s) {
 		return
 	}
 	first := p.wordIndex(a) / LineWords
 	last := p.wordIndex(a+Addr((words-1)*WordSize)) / LineWords
 	for line := first; line <= last; line++ {
 		ctx.countPWB(s)
-		switch p.mode {
-		case ModeStrict:
+		if p.mode == ModeStrict {
 			ctx.captureLine(line)
-		case ModeFast:
+		} else {
 			ctx.chargePWB(line)
 		}
 	}
 }
 
-// captureLine snapshots the current volatile content and versions of a line
-// as a scheduled write-back.
+// captureLine schedules a write-back of line with its current volatile
+// content and versions.
+//
+// A cache holds at most one pending write-back per line: flushing a line
+// that is already scheduled — and not yet ordered by a fence — refreshes
+// the content the write-back will carry rather than queueing a second one.
+// Coalescing duplicate flushes reproduces that and keeps the pending queue
+// (and the commitPending work on every PSync) short for flush-heavy
+// algorithms such as Capsules, which write back the same capsule line
+// several times between fences. Entries of earlier fence epochs must not
+// be refreshed — their content is ordered before the fence — so the scan
+// stops at the epoch boundary. It is also shallow: each wbEntry is two
+// cache lines of captured payload, so probing an entry's line field is a
+// cache miss, and flush patterns that benefit repeat a line immediately
+// (depth 1) or alternate two lines (depth 2). A duplicate the scan misses
+// only costs one redundant entry, which the version-guarded commit
+// applies idempotently.
 func (ctx *ThreadCtx) captureLine(line int) {
-	p := ctx.pool
-	e := wbEntry{line: line}
-	base := line * LineWords
+	floor := ctx.epochStart
+	if f := len(ctx.pending) - 2; f > floor {
+		floor = f
+	}
+	for i := len(ctx.pending) - 1; i >= floor; i-- {
+		if e := &ctx.pending[i]; e.line == line && !e.fence {
+			ctx.pool.snapLine(e)
+			return
+		}
+	}
+	ctx.pending = append(ctx.pending, wbEntry{line: line})
+	ctx.pool.snapLine(&ctx.pending[len(ctx.pending)-1])
+}
+
+// snapLine fills a write-back entry with the line's current volatile
+// content and versions.
+func (p *Pool) snapLine(e *wbEntry) {
+	base := e.line * LineWords
 	for i := 0; i < LineWords; i++ {
 		// Read the version first: pairing (v, ver) where ver is the
 		// version of some write no later than the value read keeps
 		// durable versions conservative (a commit never claims a
 		// newer version than the value it writes).
 		e.vers[i] = atomic.LoadUint64(&p.wver[base+i])
-		e.vals[i] = atomic.LoadUint64(&p.words[base+i])
+		e.vals[i] = p.loadWord(base + i)
 	}
-	ctx.pending = append(ctx.pending, e)
 }
 
 // chargePWB performs the ModeFast cost accounting for a write-back of line.
-// It touches shared per-line metadata (real contention) and spins in
+// It touches shared per-line metadata (real contention, as on the modeled
+// hardware: the flushed line itself moves between caches) and spins in
 // proportion to the line's flush heat.
 func (ctx *ThreadCtx) chargePWB(line int) {
 	p := ctx.pool
@@ -285,6 +339,7 @@ func (ctx *ThreadCtx) PFence() {
 	ctx.pfences.Add(1)
 	if p.mode == ModeStrict {
 		ctx.pending = append(ctx.pending, wbEntry{fence: true})
+		ctx.epochStart = len(ctx.pending)
 	}
 	// ModeFast: fences are free; on the modelled hardware every CAS
 	// already serializes outstanding stores (paper Section 5, finding 1).
@@ -325,6 +380,7 @@ func (ctx *ThreadCtx) commitPending() {
 		}
 	}
 	ctx.pending = ctx.pending[:0]
+	ctx.epochStart = 0
 }
 
 // commitLine writes a captured line snapshot to the durable view, skipping

@@ -1,0 +1,255 @@
+package pmem
+
+// Regression tests for the de-contended hot path: site registration
+// concurrent with use, mid-run statistics snapshots, allocator rollback,
+// multi-line write-back ranges, strict-mode write-back coalescing, and
+// the cross-goroutine visibility the relaxed (plain-load) build relies on.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegisterSiteConcurrentWithPWB registers sites and toggles their
+// enablement while another thread is issuing PWBs. The seed swapped the
+// per-thread site slices from under their owners when a site was
+// registered mid-run, which the race detector flags; the current design
+// gives each thread a generation-checked private copy. Run with -race.
+func TestRegisterSiteConcurrentWithPWB(t *testing.T) {
+	p := newFast(t)
+	s0 := p.RegisterSite("hot/0")
+	ctx := p.NewThread(0)
+	a := ctx.AllocLines(1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			ctx.PWB(s0, a)
+			ctx.PSync()
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		s := p.RegisterSite(fmt.Sprintf("hot/%d", i+1))
+		p.SetSiteEnabled(s, i%2 == 0)
+		if i%10 == 0 {
+			p.SetAllSitesEnabled(true)
+		}
+	}
+	wg.Wait()
+	if got := p.Snapshot().PWBsBySite["hot/0"]; got == 0 {
+		t.Fatal("worker thread issued no counted PWBs")
+	}
+}
+
+// TestNewSiteCountedByExistingThread checks that a thread created before
+// a site was registered still counts PWBs against it (its counter slice
+// must grow on demand).
+func TestNewSiteCountedByExistingThread(t *testing.T) {
+	p := newFast(t)
+	ctx := p.NewThread(0)
+	a := ctx.AllocLines(1)
+	late := p.RegisterSite("late")
+	ctx.PWB(late, a)
+	ctx.PWB(late, a)
+	if got := p.Snapshot().PWBsBySite["late"]; got != 2 {
+		t.Fatalf("late-registered site counted %d PWBs, want 2", got)
+	}
+}
+
+// TestSnapshotDuringLiveCounters takes statistics snapshots while threads
+// are updating their counters. Snapshots must be monotonic (totals never
+// decrease) and race-free; exactness at each instant is part of the
+// bench harness contract (bench.Run subtracts successive snapshots).
+func TestSnapshotDuringLiveCounters(t *testing.T) {
+	p := newFast(t)
+	s := p.RegisterSite("live")
+	const threads = 4
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			ctx := p.NewThread(tid)
+			a := ctx.AllocLines(1)
+			for i := 0; i < 1000; i++ {
+				ctx.PWB(s, a)
+				ctx.PFence()
+				ctx.PSync()
+			}
+		}(tid)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	var prev Stats
+	for running := true; running; {
+		select {
+		case <-done:
+			running = false
+		default:
+		}
+		st := p.Snapshot()
+		if st.PWBs < prev.PWBs || st.PSyncs < prev.PSyncs || st.PFences < prev.PFences {
+			t.Fatalf("snapshot went backwards: %+v then %+v", prev, st)
+		}
+		prev = st
+	}
+	final := p.Snapshot()
+	if final.PWBs == 0 || final.PWBs != final.PWBsBySite["live"] {
+		t.Fatalf("final totals inconsistent: %+v", final)
+	}
+}
+
+// TestAllocExhaustionRollsBack checks that a failed allocation reports
+// the requested size and does not leak the reservation: the pool must
+// still satisfy allocations that do fit.
+func TestAllocExhaustionRollsBack(t *testing.T) {
+	p := New(Config{Mode: ModeFast, CapacityWords: 4096, MaxThreads: 1})
+	ctx := p.NewThread(0)
+	before := p.AllocatedWords()
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("oversized alloc did not panic")
+			}
+			msg := fmt.Sprint(r)
+			if !strings.Contains(msg, "100000") {
+				t.Fatalf("exhaustion panic does not name the requested size: %q", msg)
+			}
+		}()
+		ctx.AllocWords(100000)
+	}()
+	if got := p.AllocatedWords(); got != before {
+		t.Fatalf("failed alloc leaked %d words of reservation", got-before)
+	}
+	a := ctx.AllocWords(1024) // must still fit after the rollback
+	ctx.Store(a, 1)
+	if ctx.Load(a) != 1 {
+		t.Fatal("pool unusable after failed alloc")
+	}
+}
+
+// TestPWBRangeSpansThreeLines flushes a word range that starts at the
+// end of one line and ends at the start of a third: one PWB per covered
+// line must be issued, and in ModeStrict every covered word must be
+// durable after the sync.
+func TestPWBRangeSpansThreeLines(t *testing.T) {
+	p := newStrict(t)
+	ctx := p.NewThread(0)
+	s := p.RegisterSite("range3")
+	base := ctx.AllocLines(3)
+	start := base + Addr((LineWords-1)*WordSize) // last word of line 0
+	words := LineWords + 2                       // ...through first word of line 2
+	for i := 0; i < words; i++ {
+		ctx.Store(start+Addr(i*WordSize), uint64(100+i))
+	}
+	ctx.PWBRange(s, start, words)
+	ctx.PSync()
+	for i := 0; i < words; i++ {
+		if v := p.DurableLoad(start + Addr(i*WordSize)); v != uint64(100+i) {
+			t.Fatalf("word %d durable = %d, want %d", i, v, 100+i)
+		}
+	}
+	if got := p.Snapshot().PWBsBySite["range3"]; got != 3 {
+		t.Fatalf("range over 3 lines issued %d PWBs, want 3", got)
+	}
+}
+
+// TestStrictDuplicateFlushCoalesces checks that repeated flushes of one
+// line within a fence epoch refresh the single scheduled write-back
+// (carrying the newest content) instead of queueing duplicates — and
+// that a fence ends the coalescing window, since pre-fence write-backs
+// must keep their pre-fence content.
+func TestStrictDuplicateFlushCoalesces(t *testing.T) {
+	p := newStrict(t)
+	ctx := p.NewThread(0)
+	s := p.RegisterSite("dup")
+	a := ctx.AllocLines(1)
+	for i := 0; i < 10; i++ {
+		ctx.Store(a, uint64(i))
+		ctx.PWB(s, a)
+	}
+	if n := ctx.PendingWritebacks(); n != 1 {
+		t.Fatalf("10 same-line flushes queued %d write-backs, want 1", n)
+	}
+	ctx.PFence()
+	ctx.Store(a, 99)
+	ctx.PWB(s, a)
+	if n := ctx.PendingWritebacks(); n != 2 {
+		t.Fatalf("post-fence flush coalesced across the fence: %d pending, want 2", n)
+	}
+	ctx.PSync()
+	if v := p.DurableLoad(a); v != 99 {
+		t.Fatalf("durable = %d, want newest value 99", v)
+	}
+}
+
+// TestCoalescePreservesFencedStates: with a pre-fence flush of a line
+// and a post-fence store+flush of the same line, the crash state "fence
+// took effect, post-fence write-back did not" (old line content) must
+// remain reachable. A refresh that leaked across the fence would
+// overwrite the pre-fence capture and make that state impossible.
+func TestCoalescePreservesFencedStates(t *testing.T) {
+	sawFencedState := false
+	for seed := int64(0); seed < 100 && !sawFencedState; seed++ {
+		p := newStrict(t)
+		ctx := p.NewThread(0)
+		s := p.RegisterSite("fence")
+		a := ctx.AllocLines(1)
+		w1 := a + Addr(WordSize)
+		ctx.Store(a, 1)
+		ctx.PWB(s, a)
+		ctx.PFence()
+		ctx.Store(w1, 2)
+		ctx.PWB(s, a)
+		p.TriggerCrash()
+		p.Crash(CrashPolicy{Rng: rand.New(rand.NewSource(seed)), CommitProb: 0.5})
+		p.Recover()
+		if p.DurableLoad(a) == 1 && p.DurableLoad(w1) == 0 {
+			sawFencedState = true
+		}
+	}
+	if !sawFencedState {
+		t.Fatal("crash never produced the fenced intermediate state in 100 trials; " +
+			"pre-fence write-back content was likely refreshed across the fence")
+	}
+}
+
+// TestRelaxedSpinObservesRemoteStore pins down the compiler property the
+// relaxed build depends on: a loop of inlined Loads re-reads memory every
+// iteration (Go performs no loop-invariant hoisting of these plain
+// loads), so a spin observes another thread's Store. The inner loop is
+// call-free on purpose — a function call in the loop would force the
+// reload and mask a regression.
+func TestRelaxedSpinObservesRemoteStore(t *testing.T) {
+	p := newFast(t)
+	r := p.NewThread(0)
+	w := p.NewThread(1)
+	a := r.AllocLines(1)
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		w.Store(a, 1)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var v uint64
+		for i := 0; i < 1<<16; i++ { // call-free spin chunk
+			v = r.Load(a)
+			if v != 0 {
+				break
+			}
+		}
+		if v != 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("spin of plain simulated Loads never observed the remote Store; " +
+				"the relaxed build's no-hoisting assumption is broken")
+		}
+	}
+}

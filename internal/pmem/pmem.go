@@ -37,6 +37,23 @@
 // methodology (Section 5): measuring the impact of each pwb code line,
 // classifying the lines into Low/Medium/High impact categories, and
 // re-running with categories removed.
+//
+// # Simulator overhead
+//
+// The paper's methodology attributes throughput differences between
+// configurations to persistence instructions, so the simulator's own
+// per-access overhead must stay small and must not inject cache-line
+// sharing of its own. The hot path is therefore built around three rules
+// (see "Simulator overhead and calibration" in DESIGN.md):
+//
+//   - every access performs exactly one read of pool-global control state
+//     (the padded crashCtl word, read-mostly and uncontended), with all
+//     crash-countdown and failure work on an outlined slow path;
+//   - the volatile view is accessed with the memory ordering of the
+//     modeled machine, x86-TSO (see words_relaxed.go / words_atomic.go);
+//   - mutable pool-global atomics each live on their own cache line, so a
+//     writer of one (an allocating thread, a crash trigger, a site
+//     reconfiguration) does not invalidate the others in every cache.
 package pmem
 
 import (
@@ -117,6 +134,13 @@ type Config struct {
 	Cost CostModel
 }
 
+// crashCtl bits. The zero value (no bit set) is the steady state every
+// access checks with a single load.
+const (
+	ctlCrashed  = 1 << 0 // a crash is pending: thread ops panic ErrCrashed
+	ctlCounting = 1 << 1 // crashAfter counts down pool accesses to a crash
+)
+
 // Pool is a simulated NVMM arena. All exported methods are safe for
 // concurrent use except Crash and Recover, which require that every thread
 // operating on the pool is parked (see TriggerCrash).
@@ -124,7 +148,12 @@ type Pool struct {
 	mode Mode
 	cost CostModel
 
-	words []uint64 // volatile view, accessed with atomics
+	words []uint64 // volatile view; access via loadWord/storeWord
+	// wordLimit is len(words)-1, immutable after New. The inlined Load
+	// fast path tests `wi-1 >= wordLimit` (one compare catching word 0,
+	// unaligned-overflow and out-of-range at once); reading a scalar
+	// field costs the inliner less than len() on the slice.
+	wordLimit uint
 
 	// Strict mode state.
 	durable []uint64 // durable view
@@ -136,15 +165,34 @@ type Pool struct {
 	// Fast mode state.
 	lineMeta []uint64 // per-line packed (heat<<32 | lastTid+1)
 
+	// Mutable pool-global atomics. Each is separated from its neighbours
+	// by at least a cache line: allocation bumps, crash arming, psync
+	// toggles and site reconfiguration are independent write streams, and
+	// sharing a line among them would put real (simulator-induced)
+	// coherence traffic on every simulated access of every thread.
+	_          [64]byte
 	allocWords atomic.Uint64 // bump pointer, in words
-	crashFlag  atomic.Uint32 // when 1, thread ops panic with ErrCrashed
-	crashAfter atomic.Int64  // when > 0, counts down pool accesses to a crash
-
+	_          [64]byte
+	// crashCtl holds the ctlCrashed|ctlCounting bits; 0 on the hot path.
+	// It is a raw word, always written with sync/atomic, and read on the
+	// hot path via ctlFast (a plain MOV in the x86-TSO build, an atomic
+	// load under the race detector) so that the accessors in ctx.go fit
+	// the compiler's inlining budget — the inliner prices every atomic
+	// intrinsic as a full call.
+	crashCtl     uint32
+	_            [64]byte
+	crashAfter   atomic.Int64 // armed countdown (valid while ctlCounting)
+	_            [64]byte
 	psyncEnabled atomic.Bool // false models "psyncs removed" experiments
+	_            [64]byte
+	siteGen      atomic.Uint64 // site-table generation, see sites.go
+	_            [64]byte
 
-	mu    sync.Mutex
-	ctxs  []*ThreadCtx
-	sites []*siteInfo
+	mu          sync.Mutex
+	ctxs        []*ThreadCtx
+	sites       []*siteInfo
+	enabledBits []uint64 // per-site enabled bitmask, under mu
+	genLocked   uint64   // shadow of siteGen, under mu
 }
 
 // New creates a Pool. It panics on an invalid configuration; a simulation
@@ -166,6 +214,7 @@ func New(cfg Config) *Pool {
 		cost:  cfg.Cost,
 		words: make([]uint64, capWords),
 	}
+	p.wordLimit = uint(capWords) - 1
 	switch cfg.Mode {
 	case ModeStrict:
 		p.durable = make([]uint64, capWords)
@@ -191,7 +240,16 @@ func (p *Pool) Mode() Mode { return p.mode }
 func (p *Pool) CapacityWords() int { return len(p.words) }
 
 // AllocatedWords reports how many words have been allocated so far.
-func (p *Pool) AllocatedWords() int { return int(p.allocWords.Load()) }
+func (p *Pool) AllocatedWords() int {
+	n := p.allocWords.Load()
+	// The bump pointer may transiently overshoot capacity while a failed
+	// allocation is being rolled back; clamp so callers never see more
+	// than the arena holds.
+	if n > uint64(len(p.words)) {
+		return len(p.words)
+	}
+	return int(n)
+}
 
 // SetPsyncEnabled turns all PSync and PFence instructions into no-ops when
 // false, implementing the paper's "psyncs removed" experiments (Figures 3c
@@ -202,50 +260,102 @@ func (p *Pool) SetPsyncEnabled(on bool) { p.psyncEnabled.Store(on) }
 // PsyncEnabled reports whether PSync/PFence instructions are active.
 func (p *Pool) PsyncEnabled() bool { return p.psyncEnabled.Load() }
 
+// wordIndex validates a and returns its word index. The common case is
+// branch-free enough to inline; all failure reporting is outlined.
 func (p *Pool) wordIndex(a Addr) int {
-	if a&(WordSize-1) != 0 {
-		panic(fmt.Sprintf("pmem: unaligned address %#x", uint64(a)))
-	}
-	wi := int(a / WordSize)
-	if wi <= 0 || wi >= len(p.words) {
-		panic(fmt.Sprintf("pmem: address %#x out of range", uint64(a)))
+	wi := int(a >> 3)
+	if uint64(a)&(WordSize-1) != 0 || uint(wi-1) >= uint(len(p.words)-1) {
+		p.badAddr(a)
 	}
 	return wi
 }
 
-// alloc returns the first word index of a fresh region of n words, aligned
-// so that the region never straddles... regions are word-aligned; callers
-// needing line alignment use AllocLines.
+// badAddr reports an invalid address. Outlined so that wordIndex stays
+// within the inlining budget of the accessors that use it.
+//
+//go:noinline
+func (p *Pool) badAddr(a Addr) {
+	if a&(WordSize-1) != 0 {
+		panic(fmt.Sprintf("pmem: unaligned address %#x", uint64(a)))
+	}
+	panic(fmt.Sprintf("pmem: address %#x out of range", uint64(a)))
+}
+
+// slowpathCheck re-runs the crash check and address validation off the hot
+// path. Accessors branch here on the (rare) combined condition "crash
+// control armed, address unaligned, or address out of range"; sorting out
+// which it was — and panicking accordingly — does not belong in their
+// inlined bodies.
+//
+//go:noinline
+func (p *Pool) slowpathCheck(a Addr) int {
+	p.checkCrashSlow()
+	return p.wordIndex(a)
+}
+
+// badAddrError is the panic value raised by Load's inlined slow path on
+// an invalid address. All formatting is deferred to Error(), so raising
+// it costs the inliner one node where a fmt call would cost the whole
+// budget. It is distinct from ErrCrashed by identity, which is what the
+// crash harnesses compare against.
+type badAddrError Addr
+
+func (e badAddrError) Error() string {
+	a := Addr(e)
+	if a&(WordSize-1) != 0 {
+		return fmt.Sprintf("pmem: unaligned address %#x", uint64(a))
+	}
+	return fmt.Sprintf("pmem: address %#x out of range", uint64(a))
+}
+
+// alloc returns a fresh region of n words. Regions are word-aligned;
+// callers needing line alignment use AllocLines.
 func (p *Pool) alloc(n int) Addr {
 	if n <= 0 {
 		panic("pmem: alloc of non-positive size")
 	}
-	w := p.allocWords.Add(uint64(n)) - uint64(n)
-	if w+uint64(n) > uint64(len(p.words)) {
-		panic(fmt.Sprintf("pmem: pool exhausted (capacity %d words); size the pool for the run", len(p.words)))
+	end := p.allocWords.Add(uint64(n))
+	if end > uint64(len(p.words)) {
+		p.allocFailed(end, uint64(n))
 	}
-	return Addr(w * WordSize)
+	return Addr((end - uint64(n)) * WordSize)
+}
+
+// allocFailed rolls back a reservation that overshot the arena and reports
+// the exhaustion. The rollback is a single CAS: it can only succeed while
+// no later reservation has happened, which keeps it from freeing words
+// that a subsequent allocation may have claimed after its own rollback.
+// If several failed allocations race, the overshoot words stay leaked —
+// the pool is exhausted and panicking anyway — but the words below
+// capacity remain allocatable.
+//
+//go:noinline
+func (p *Pool) allocFailed(end, n uint64) {
+	p.allocWords.CompareAndSwap(end, end-n)
+	panic(fmt.Sprintf("pmem: pool exhausted allocating %d words (capacity %d words); size the pool for the run", n, len(p.words)))
 }
 
 // allocLines returns a line-aligned region of n whole lines. Used for
 // thread-private persistent variables (RD, CP) so they never share a cache
 // line with another thread's data (false sharing would distort the cost
 // model, and the paper's analysis depends on such flushes being private).
+//
+// A single fetch-and-add reserves enough words to align within the
+// reservation, so concurrent refills never retry against each other (the
+// seed's load-CAS loop made every AllocLocal refill a contention point on
+// the bump pointer). At most LineWords-1 words per call are wasted on
+// alignment.
 func (p *Pool) allocLines(n int) Addr {
 	if n <= 0 {
 		panic("pmem: allocLines of non-positive size")
 	}
-	for {
-		cur := p.allocWords.Load()
-		start := (cur + LineWords - 1) / LineWords * LineWords
-		end := start + uint64(n*LineWords)
-		if end > uint64(len(p.words)) {
-			panic(fmt.Sprintf("pmem: pool exhausted (capacity %d words); size the pool for the run", len(p.words)))
-		}
-		if p.allocWords.CompareAndSwap(cur, end) {
-			return Addr(start * WordSize)
-		}
+	need := uint64(n*LineWords + LineWords - 1)
+	end := p.allocWords.Add(need)
+	if end > uint64(len(p.words)) {
+		p.allocFailed(end, need)
 	}
+	start := (end - need + LineWords - 1) &^ (LineWords - 1)
+	return Addr(start * WordSize)
 }
 
 // NumRootSlots is the number of well-known root pointer slots in a pool.
@@ -277,11 +387,13 @@ func (p *Pool) DurableLoad(a Addr) uint64 {
 // by any ThreadCtx panics with ErrCrashed. The crash orchestrator (see
 // internal/chaos) recovers those panics, waits for all threads to park, and
 // then calls Crash followed by Recover.
-func (p *Pool) TriggerCrash() { p.crashFlag.Store(1) }
+func (p *Pool) TriggerCrash() { p.setCrashCtl(ctlCrashed) }
 
 // CrashPending reports whether a crash has been triggered and not yet
 // resolved by Crash/Recover.
-func (p *Pool) CrashPending() bool { return p.crashFlag.Load() != 0 }
+func (p *Pool) CrashPending() bool {
+	return atomic.LoadUint32(&p.crashCtl)&ctlCrashed != 0
+}
 
 // SetCrashAfter arms a crash trigger that fires after n further pool
 // accesses (by any thread). It gives crash-injection tests deterministic,
@@ -289,17 +401,54 @@ func (p *Pool) CrashPending() bool { return p.crashFlag.Load() != 0 }
 func (p *Pool) SetCrashAfter(n int64) {
 	if n <= 0 {
 		p.crashAfter.Store(0)
+		p.clearCrashCtl(ctlCounting)
 		return
 	}
 	p.crashAfter.Store(n)
+	p.setCrashCtl(ctlCounting)
 }
 
+// checkCrash is on the path of every simulated memory access. In the
+// steady state (no crash pending, no countdown armed) it is a single load
+// of a dedicated read-mostly cache line; everything else is outlined.
 func (p *Pool) checkCrash() {
-	if p.crashAfter.Load() > 0 && p.crashAfter.Add(-1) == 0 {
-		p.crashFlag.Store(1)
+	if p.ctlFast() != 0 {
+		p.checkCrashSlow()
 	}
-	if p.crashFlag.Load() != 0 {
+}
+
+//go:noinline
+func (p *Pool) checkCrashSlow() {
+	ctl := atomic.LoadUint32(&p.crashCtl)
+	if ctl&ctlCrashed != 0 {
 		panic(ErrCrashed)
+	}
+	// The countdown decrements once per access while armed; exactly one
+	// access observes zero and becomes the crash point. Later accesses
+	// drive the counter negative, which never re-fires.
+	if ctl&ctlCounting != 0 && p.crashAfter.Add(-1) == 0 {
+		p.setCrashCtl(ctlCrashed)
+		panic(ErrCrashed)
+	}
+}
+
+// setCrashCtl and clearCrashCtl update crashCtl bits with CAS loops
+// (this module's Go version has no atomic Or/And).
+func (p *Pool) setCrashCtl(bit uint32) {
+	for {
+		old := atomic.LoadUint32(&p.crashCtl)
+		if old&bit != 0 || atomic.CompareAndSwapUint32(&p.crashCtl, old, old|bit) {
+			return
+		}
+	}
+}
+
+func (p *Pool) clearCrashCtl(bit uint32) {
+	for {
+		old := atomic.LoadUint32(&p.crashCtl)
+		if old&bit == 0 || atomic.CompareAndSwapUint32(&p.crashCtl, old, old&^bit) {
+			return
+		}
 	}
 }
 

@@ -17,13 +17,26 @@ const NoSite Site = -1
 
 type siteInfo struct {
 	label    string
-	disabled atomic.Bool
+	disabled bool // under Pool.mu; threads consult their cached bitmask
+}
+
+// bumpSiteGen publishes a site-table change. Called with p.mu held.
+// Threads notice the new generation on their next site check and re-copy
+// the enabled bitmask under the lock; between the bump and the re-copy a
+// thread may still act on the previous configuration, which is
+// indistinguishable from the site switch racing the PWB.
+func (p *Pool) bumpSiteGen() {
+	p.genLocked++
+	p.siteGen.Store(p.genLocked)
 }
 
 // RegisterSite registers a pwb code line under a human-readable label and
 // returns its Site handle. Algorithms register their sites at construction
-// time, before threads start issuing PWBs. Registering the same label twice
-// returns the same Site.
+// time, before threads start issuing PWBs, but registering while threads
+// run is also safe: registration touches only the pool's own tables (never
+// another thread's context — each ThreadCtx grows its own counters on
+// demand, see countPWB) and publishes the change via the generation
+// counter. Registering the same label twice returns the same Site.
 func (p *Pool) RegisterSite(label string) Site {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -33,17 +46,13 @@ func (p *Pool) RegisterSite(label string) Site {
 		}
 	}
 	p.sites = append(p.sites, &siteInfo{label: label})
-	// Existing thread contexts predate this site; grow their counters.
-	for _, ctx := range p.ctxs {
-		if len(ctx.pwbPerSite) < len(p.sites) {
-			grown := make([]atomic.Uint64, len(p.sites))
-			for i := range ctx.pwbPerSite {
-				grown[i].Store(ctx.pwbPerSite[i].Load())
-			}
-			ctx.pwbPerSite = grown
-		}
+	if need := (len(p.sites) + 63) / 64; need > len(p.enabledBits) {
+		p.enabledBits = append(p.enabledBits, 0)
 	}
-	return Site(len(p.sites) - 1)
+	i := uint(len(p.sites) - 1)
+	p.enabledBits[i>>6] |= 1 << (i & 63)
+	p.bumpSiteGen()
+	return Site(i)
 }
 
 // SiteLabels returns the labels of all registered sites, indexed by Site.
@@ -64,7 +73,14 @@ func (p *Pool) SetSiteEnabled(s Site, on bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if int(s) >= 0 && int(s) < len(p.sites) {
-		p.sites[s].disabled.Store(!on)
+		p.sites[s].disabled = !on
+		i := uint(s)
+		if on {
+			p.enabledBits[i>>6] |= 1 << (i & 63)
+		} else {
+			p.enabledBits[i>>6] &^= 1 << (i & 63)
+		}
+		p.bumpSiteGen()
 	}
 }
 
@@ -73,20 +89,49 @@ func (p *Pool) SetSiteEnabled(s Site, on bool) {
 func (p *Pool) SetAllSitesEnabled(on bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for _, s := range p.sites {
-		s.disabled.Store(!on)
+	for i, s := range p.sites {
+		s.disabled = !on
+		if on {
+			p.enabledBits[uint(i)>>6] |= 1 << (uint(i) & 63)
+		} else {
+			p.enabledBits[uint(i)>>6] &^= 1 << (uint(i) & 63)
+		}
 	}
+	p.bumpSiteGen()
 }
 
-func (p *Pool) siteEnabled(s Site) bool {
-	if s == NoSite {
-		return true
+// siteOn reports whether site s is enabled, consulting a thread-local copy
+// of the pool's enabled bitmask. The common path is one load of the padded
+// generation word (read-mostly: it changes only on site registration or
+// reconfiguration) plus one indexed bit test — the seed walked a shared
+// slice of per-site pointers and an atomic.Bool per PWB, dragging two
+// shared cache lines through every flush of every thread.
+func (ctx *ThreadCtx) siteOn(s Site) bool {
+	if s < 0 {
+		return true // NoSite; countPWB separately ignores it
 	}
-	i := int(s)
-	if i < 0 || i >= len(p.sites) {
-		return true
+	p := ctx.pool
+	if g := p.siteGen.Load(); g != ctx.siteGen {
+		ctx.refreshSites()
 	}
-	return !p.sites[i].disabled.Load()
+	i := uint(s)
+	if w := i >> 6; w < uint(len(ctx.siteBits)) {
+		return ctx.siteBits[w]>>(i&63)&1 != 0
+	}
+	// A site this pool has never registered (foreign handle): treat as
+	// enabled, matching the seed's out-of-range behaviour.
+	return true
+}
+
+// refreshSites re-copies the enabled bitmask under the pool lock.
+//
+//go:noinline
+func (ctx *ThreadCtx) refreshSites() {
+	p := ctx.pool
+	p.mu.Lock()
+	ctx.siteBits = append(ctx.siteBits[:0], p.enabledBits...)
+	ctx.siteGen = p.genLocked
+	p.mu.Unlock()
 }
 
 // Stats is a snapshot of persistence-instruction counters summed over all
@@ -101,26 +146,25 @@ type Stats struct {
 
 // Snapshot sums the counters of all thread contexts created since the pool
 // was built (or since the last Recover, which detaches dead contexts).
+// It is safe to call while threads run; counters read mid-run are exact
+// for operations the issuing thread has completed.
 func (p *Pool) Snapshot() Stats {
 	p.mu.Lock()
-	ctxs := append([]*ThreadCtx(nil), p.ctxs...)
-	labels := make([]string, len(p.sites))
-	for i, s := range p.sites {
-		labels[i] = s.label
+	defer p.mu.Unlock()
+	st := Stats{PWBsBySite: make(map[string]uint64, len(p.sites))}
+	for _, s := range p.sites {
+		st.PWBsBySite[s.label] = 0
 	}
-	p.mu.Unlock()
-
-	st := Stats{PWBsBySite: make(map[string]uint64, len(labels))}
-	for _, l := range labels {
-		st.PWBsBySite[l] = 0
-	}
-	for _, ctx := range ctxs {
+	for _, ctx := range p.ctxs {
+		// The pwbPerSite header is swapped only under p.mu (see
+		// countPWB), so this read is synchronized with owner growth.
 		for i := range ctx.pwbPerSite {
-			if i < len(labels) {
-				st.PWBsBySite[labels[i]] += ctx.pwbPerSite[i].Load()
+			if i < len(p.sites) {
+				c := ctx.pwbPerSite[i].Load()
+				st.PWBsBySite[p.sites[i].label] += c
+				st.PWBs += c
 			}
 		}
-		st.PWBs += ctx.pwbTotal.Load()
 		st.PSyncs += ctx.psyncs.Load()
 		st.PFences += ctx.pfences.Load()
 		st.SpinUnits += ctx.spun.Load()
@@ -149,14 +193,37 @@ type SiteCount struct {
 	Count uint64
 }
 
+// countPWB bumps the per-site counter: one atomic add on a line owned by
+// the issuing thread. The total is derived in Snapshot (the seed paid a
+// second shared-nothing-but-still-locked add for a running total).
+//
+// Counters for sites registered after this context was created are grown
+// here, by the owner itself under p.mu; no other thread ever swaps the
+// slice out from under the owner (the seed's RegisterSite did, racing
+// unsynchronized reads in this function).
 func (ctx *ThreadCtx) countPWB(s Site) {
-	if s == NoSite {
+	if s < 0 {
 		// Infrastructure write-backs (pool/structure construction) are
 		// not part of any algorithm's persistence accounting.
 		return
 	}
-	ctx.pwbTotal.Add(1)
-	if i := int(s); i >= 0 && i < len(ctx.pwbPerSite) {
-		ctx.pwbPerSite[i].Add(1)
+	if int(s) >= len(ctx.pwbPerSite) {
+		ctx.growSiteCounters(int(s) + 1)
 	}
+	ctx.pwbPerSite[s].Add(1)
+}
+
+//go:noinline
+func (ctx *ThreadCtx) growSiteCounters(n int) {
+	p := ctx.pool
+	p.mu.Lock()
+	if len(p.sites) > n {
+		n = len(p.sites)
+	}
+	grown := make([]atomic.Uint64, n)
+	for i := range ctx.pwbPerSite {
+		grown[i].Store(ctx.pwbPerSite[i].Load())
+	}
+	ctx.pwbPerSite = grown
+	p.mu.Unlock()
 }

@@ -1,5 +1,7 @@
 package pmem
 
+import "time"
+
 // spinSink defeats dead-code elimination of the spin loop. It is written
 // racily on purpose; the value is never read for program logic.
 var spinSink uint64
@@ -22,4 +24,23 @@ func spin(n int) {
 	if x == 1 {
 		spinSink = x
 	}
+}
+
+// CalibrateSpin measures the wall-clock cost of one abstract spin unit
+// on this host, in nanoseconds. The experiments only compare
+// configurations under the same unit, but reports (BENCH_pmem.json,
+// DESIGN.md) record the calibration so simulated costs can be read in
+// nanoseconds and runs on different hosts can be compared. The best of a
+// few trials is returned, approximating the uninterrupted cost.
+func CalibrateSpin() float64 {
+	const units = 1 << 20
+	best := time.Duration(1<<63 - 1)
+	for trial := 0; trial < 5; trial++ {
+		start := time.Now()
+		spin(units)
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(best) / float64(units)
 }

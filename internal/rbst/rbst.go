@@ -102,7 +102,9 @@ func New(pool *pmem.Pool, maxThreads, rootSlot int) *Tree {
 
 	l1 := newLeaf(boot, Inf1)
 	l2 := newLeaf(boot, Inf2)
-	root := boot.AllocLocal(internalLen)
+	// The root internal node is on every search path and is the first
+	// CAS target of updates near the top of the tree; give it its own line.
+	root := boot.AllocLines(1)
 	boot.Store(root+offKind, kindInternal)
 	boot.Store(root+offKey, uint64(Inf2))
 	boot.Store(root+offLeft, uint64(l1))

@@ -45,7 +45,9 @@ func New(pool *pmem.Pool, nBuckets, maxThreads, rootSlot int) *Map {
 	eng := tracking.New(pool, maxThreads, "rhash")
 	boot := pool.NewThread(0)
 
-	table := boot.AllocWords(n)
+	// Line-align the bucket table: its words are read on every operation
+	// and must not share a line with a neighbouring allocation's hot data.
+	table := boot.AllocLines((n + pmem.LineWords - 1) / pmem.LineWords)
 	m := &Map{pool: pool, eng: eng, nBuckets: uint64(n)}
 	for i := 0; i < n; i++ {
 		l := rlist.NewEmbedded(eng, boot)

@@ -88,9 +88,12 @@ func New(pool *pmem.Pool, maxThreads, rootSlot int) *List {
 	eng := tracking.New(pool, maxThreads, "rlist")
 	boot := pool.NewThread(0)
 
-	tail := boot.AllocLocal(nodeLen)
+	// The sentinels anchor every traversal and head.next is the list's
+	// most contended word; private lines keep their flush heat from
+	// coupling with whatever else the boot thread allocated.
+	tail := boot.AllocLines(1)
 	boot.Store(tail+offKey, keyBits(math.MaxInt64))
-	head := boot.AllocLocal(nodeLen)
+	head := boot.AllocLines(1)
 	boot.Store(head+offKey, keyBits(math.MinInt64))
 	boot.Store(head+offNext, uint64(tail))
 
@@ -117,9 +120,13 @@ func New(pool *pmem.Pool, maxThreads, rootSlot int) *List {
 // over a single engine; the caller is responsible for persisting HeadAddr
 // somewhere reachable from a root slot.
 func NewEmbedded(eng *tracking.Engine, boot *pmem.ThreadCtx) *List {
-	tail := boot.AllocLocal(nodeLen)
+	// One line holds both sentinels: a bucket's own anchors may share a
+	// line with each other, but not with another bucket's, which would
+	// couple the flush heat of unrelated buckets.
+	anchors := boot.AllocLines(1)
+	tail := anchors
 	boot.Store(tail+offKey, keyBits(math.MaxInt64))
-	head := boot.AllocLocal(nodeLen)
+	head := anchors + nodeLen*pmem.WordSize
 	boot.Store(head+offKey, keyBits(math.MinInt64))
 	boot.Store(head+offNext, uint64(tail))
 	boot.PWBRange(pmem.NoSite, tail, nodeLen)

@@ -147,17 +147,22 @@ func (a *Allocator) Handle(ctx *pmem.ThreadCtx) *Handle {
 func (h *Handle) Alloc() pmem.Addr {
 	a := h.a
 	c := h.ctx
+	// lo and hi are positions in the cursor's unwrapped space; the block
+	// index is the position modulo nBlocks. Wrapping per position (rather
+	// than clamping a window at nBlocks) keeps every window chunkBlocks
+	// long, so when chunkBlocks >= nBlocks a single window visits every
+	// block — a clamped window only ever covered a suffix of the bitmap,
+	// and an allocator with fewer blocks than the chunk size could miss
+	// free blocks below the cursor and report spurious exhaustion.
 	for round := 0; round < 2*(a.nBlocks/chunkBlocks+1); round++ {
 		if h.lo >= h.hi {
 			start := int(a.cursor.Add(chunkBlocks)) - chunkBlocks
-			h.lo = start % a.nBlocks
-			h.hi = h.lo + chunkBlocks
-			if h.hi > a.nBlocks {
-				h.hi = a.nBlocks
-			}
+			h.lo = start
+			h.hi = start + chunkBlocks
 		}
 		for i := h.lo; i < h.hi; i++ {
-			w, mask := a.bitWord(i)
+			blk := i % a.nBlocks
+			w, mask := a.bitWord(blk)
 			v := c.Load(w)
 			if v&mask != 0 {
 				continue
@@ -169,11 +174,11 @@ func (h *Handle) Alloc() pmem.Addr {
 			h.lo = i + 1
 			c.PWB(a.s.bit, w)
 			c.PSync()
-			blk := a.BlockAddr(i)
+			b := a.BlockAddr(blk)
 			for off := 0; off < a.blockWords; off++ {
-				c.Store(blk+pmem.Addr(off*pmem.WordSize), 0)
+				c.Store(b+pmem.Addr(off*pmem.WordSize), 0)
 			}
-			return blk
+			return b
 		}
 		h.lo = h.hi // chunk exhausted; reserve another
 	}

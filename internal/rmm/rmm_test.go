@@ -45,6 +45,34 @@ func TestAllocFreeCycle(t *testing.T) {
 	}
 }
 
+// TestAllocFindsFreedBlockBelowCursor: with fewer blocks than the chunk
+// size, fill the allocator, free an early block, and allocate again. The
+// scan windows must wrap around the bitmap; suffix-only windows miss the
+// freed block once the cursor has moved past it and report exhaustion
+// with a block free.
+func TestAllocFindsFreedBlockBelowCursor(t *testing.T) {
+	const n = 24 // deliberately smaller than chunkBlocks
+	pool, a := newAlloc(t, pmem.ModeStrict, 2, n)
+	h := a.Handle(pool.NewThread(1))
+	var first pmem.Addr
+	for i := 0; i < n; i++ {
+		b := h.Alloc()
+		if b == pmem.Null {
+			t.Fatalf("exhausted after %d of %d blocks", i, n)
+		}
+		if i == 0 {
+			first = b
+		}
+	}
+	if err := h.Free(first); err != nil {
+		t.Fatal(err)
+	}
+	if b := h.Alloc(); b != first {
+		t.Fatalf("Alloc after freeing %#x returned %#x; the freed block was missed",
+			uint64(first), uint64(b))
+	}
+}
+
 func TestExhaustion(t *testing.T) {
 	pool, a := newAlloc(t, pmem.ModeStrict, 2, 16)
 	h := a.Handle(pool.NewThread(1))
