@@ -1,263 +1,228 @@
-// Command crashtest runs randomized crash-recovery validation of the
-// detectably recoverable structures: concurrent workloads on a strict-mode
-// simulated NVMM pool, system-wide crashes injected at random
-// persistent-memory accesses, recovery via each operation's recovery
-// function, and an exactly-once audit of every response.
+// Command crashtest validates crash-recovery of the detectably recoverable
+// structures in two modes.
 //
-//	crashtest -structure list -threads 4 -ops 100 -crashes 8 -rounds 20
+// Randomized mode (the default) runs concurrent workloads on a strict-mode
+// simulated NVMM pool, injects system-wide crashes at random
+// persistent-memory accesses, recovers via each operation's recovery
+// function, and audits every response for exactly-once semantics:
+//
+//	crashtest -structure rlist -threads 4 -ops 100 -crashes 8 -rounds 20
+//
+// Sweep mode (-sweep) deterministically enumerates every registered pwb
+// site of each structure and crashes exactly there — at the k-th executed
+// hit of each site, once per crash adversary — then recovers and validates.
+// The coverage matrix is written as JSON:
+//
+//	crashtest -sweep -structure all -report crash_coverage.json
+//
+// Structure names are the chaos adapter registry's; "all" selects the six
+// recoverable structures (plus the Capsules baselines in randomized mode).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
+	"sort"
+	"time"
 
-	"repro/internal/capsules"
 	"repro/internal/chaos"
+	"repro/internal/chaos/sweep"
 	"repro/internal/pmem"
-	"repro/internal/rbst"
-	"repro/internal/rlist"
 )
 
 func main() {
 	var (
-		structure = flag.String("structure", "list", "structure under test: list | bst | capsules | capsules-opt")
-		threads   = flag.Int("threads", 4, "worker threads")
-		ops       = flag.Int("ops", 80, "operations per thread per round")
-		crashes   = flag.Int("crashes", 6, "crashes injected per round")
-		rounds    = flag.Int("rounds", 10, "independent rounds (seeds)")
-		seed      = flag.Int64("seed", 1, "base seed")
-		keyRange  = flag.Int64("keys", 16, "key range [1,k]")
-		mean      = flag.Int("mean-accesses", 800, "mean pool accesses between crashes")
+		structure = flag.String("structure", "rlist", "structure under test (see -list), or \"all\"")
+		list      = flag.Bool("list", false, "list registered structures and exit")
+		seed      = flag.Int64("seed", 1, "base seed: workloads, crash points and adversaries derive from it")
+		threads   = flag.Int("threads", 4, "worker threads (randomized mode)")
+		ops       = flag.Int("ops", 80, "operations per thread")
+		crashes   = flag.Int("crashes", 6, "crashes injected per round (randomized mode)")
+		rounds    = flag.Int("rounds", 10, "independent rounds per structure (randomized mode)")
+		keyRange  = flag.Int64("keys", 16, "key range [1,k] for set structures")
+		mean      = flag.Int("mean-accesses", 800, "mean pool accesses between crashes (randomized mode)")
+
+		sweepMode    = flag.Bool("sweep", false, "run the deterministic crash-site sweep instead")
+		report       = flag.String("report", "", "write the sweep coverage report to this JSON file")
+		depth        = flag.Int("depth", 1, "sweep: chained crashes per task (2 = crash again during recovery)")
+		maxHits      = flag.Int("max-hits", 3, "sweep: hit indices swept per site")
+		workers      = flag.Int("workers", 4, "sweep: parallel crash tasks")
+		budget       = flag.Duration("budget", 0, "sweep: wall-clock budget (0 = unlimited)")
+		resume       = flag.String("resume", "", "sweep: progress file for resumable runs")
+		sweepThreads = flag.Int("sweep-threads", 0, "sweep: worker threads inside each task (0 = per-structure minimum, fully deterministic)")
 	)
 	flag.Parse()
 
-	totalCrashes := 0
-	for r := 0; r < *rounds; r++ {
-		s := *seed + int64(r)
-		n, err := runRound(*structure, s, *threads, *ops, *crashes, *keyRange, *mean)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "FAIL seed %d: %v\n", s, err)
-			os.Exit(1)
+	if *list {
+		for _, name := range sweep.AdapterNames() {
+			fmt.Println(name)
 		}
-		totalCrashes += n
-		fmt.Printf("round %2d (seed %d): ok, %d crashes survived\n", r, s, n)
+		return
 	}
-	fmt.Printf("PASS: %d rounds, %d crashes, every operation resolved exactly once\n",
-		*rounds, totalCrashes)
+	if *sweepMode {
+		os.Exit(runSweep(*structure, *seed, *ops, *maxHits, *depth, *workers,
+			*sweepThreads, *budget, *report, *resume))
+	}
+	os.Exit(runRandomized(*structure, *seed, *threads, *ops, *crashes, *rounds, *keyRange, *mean))
 }
 
-// setThread adapts any of the set structures to the chaos harness.
-type setThread struct {
-	invoke  func()
-	run     func(kind int, key int64) bool
-	recover func(kind int, key int64) bool
+// structuresFor expands "all" (sweep: the six recoverable structures;
+// randomized: every registered adapter) or validates a single name.
+func structuresFor(structure string, sweeping bool) ([]string, error) {
+	if structure != "all" {
+		if _, err := sweep.AdapterByName(structure); err != nil {
+			return nil, err
+		}
+		return []string{structure}, nil
+	}
+	if sweeping {
+		var names []string
+		for _, a := range sweep.DefaultAdapters() {
+			names = append(names, a.Name)
+		}
+		return names, nil
+	}
+	return sweep.AdapterNames(), nil
 }
 
-func (s setThread) Invoke() { s.invoke() }
+// runRandomized is the classic random-crash-point stress mode.
+func runRandomized(structure string, seed int64, threads, ops, crashes, rounds int, keyRange int64, mean int) int {
+	names, err := structuresFor(structure, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	totalCrashes := 0
+	for _, name := range names {
+		a, err := sweep.AdapterByName(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		nThreads := threads
+		if nThreads < a.MinThreads {
+			nThreads = a.MinThreads
+		}
+		genOp := a.GenOp
+		if a.KeyedGen != nil && keyRange > 0 {
+			genOp = a.KeyedGen(keyRange)
+		}
+		for r := 0; r < rounds; r++ {
+			s := seed + int64(r)
+			pool := pmem.New(pmem.Config{
+				Mode:          pmem.ModeStrict,
+				CapacityWords: 1 << 22,
+				MaxThreads:    nThreads + 2,
+			})
+			a.Setup(pool, nThreads+2)
+			res, err := chaos.Run(chaos.Config{
+				Pool:                       pool,
+				Threads:                    nThreads,
+				OpsPerThread:               ops,
+				GenOp:                      genOp,
+				Reattach:                   a.Reattach,
+				Seed:                       s,
+				MaxCrashes:                 crashes,
+				MeanAccessesBetweenCrashes: mean,
+				CommitProb:                 0.5,
+				EvictProb:                  0.1,
+			})
+			if err == nil {
+				err = a.Validate(pool, res)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "FAIL %s seed %d: %v\n", name, s, err)
+				return 1
+			}
+			totalCrashes += res.Crashes
+			fmt.Printf("%-13s round %2d (seed %d): ok, %d crashes survived\n", name, r, s, res.Crashes)
+		}
+	}
+	fmt.Printf("PASS: %d structures x %d rounds, %d crashes, every operation resolved exactly once\n",
+		len(names), rounds, totalCrashes)
+	return 0
+}
 
-func (s setThread) Run(op chaos.Op) uint64 { return b2u(s.run(op.Kind, op.Key)) }
+// runSweep is the deterministic crash-site sweep mode.
+func runSweep(structure string, seed int64, ops, maxHits, depth, workers, sweepThreads int,
+	budget time.Duration, report, resume string) int {
+	names, err := structuresFor(structure, true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	start := time.Now()
+	rep, err := sweep.Run(sweep.Config{
+		Structures:   names,
+		Seed:         seed,
+		Threads:      sweepThreads,
+		OpsPerThread: ops,
+		MaxHits:      maxHits,
+		Depth:        depth,
+		Workers:      workers,
+		Budget:       budget,
+		ProgressPath: resume,
+		Log: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if report != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := os.WriteFile(report, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("coverage report written to %s\n", report)
+	}
 
-func (s setThread) Recover(op chaos.Op) uint64 { return b2u(s.recover(op.Kind, op.Key)) }
-
-func b2u(b bool) uint64 {
-	if b {
+	fmt.Printf("\n%-13s %-28s %8s %6s %6s %10s\n", "structure", "site", "profile", "tasks", "fired", "violations")
+	for _, sr := range rep.Structures {
+		for _, site := range sr.Sites {
+			note := ""
+			if site.Scripted {
+				note = "  scripted"
+			}
+			fmt.Printf("%-13s %-28s %8d %6d %6d %10d%s\n",
+				sr.Name, site.Site, site.ProfileHits, site.Tasks, site.FiredTasks, site.Violations, note)
+		}
+		for _, site := range sortedKeys(sr.UnreachableSites) {
+			fmt.Printf("%-13s %-28s   unreachable: %s\n", sr.Name, site, sr.UnreachableSites[site])
+		}
+		if len(sr.UncoveredSites) > 0 {
+			fmt.Printf("%-13s   (unreached in profile: %v)\n", sr.Name, sr.UncoveredSites)
+		}
+	}
+	fmt.Printf("\nsweep: %d tasks (%d run, %d resumed, %d skipped) in %v, %d violations\n",
+		rep.Tasks, rep.TasksRun, rep.TasksResumed, rep.TasksSkipped,
+		time.Since(start).Round(time.Millisecond), rep.Violations)
+	if rep.Violations > 0 {
+		for _, r := range rep.Results {
+			if r.Violation != "" || r.Error != "" {
+				fmt.Fprintf(os.Stderr, "VIOLATION %s %s k=%d adv=%s depth=%d: %s%s\n",
+					r.Structure, r.Site, r.Hit, r.Adversary, r.Depth, r.Violation, r.Error)
+			}
+		}
 		return 1
 	}
 	return 0
 }
 
-func runRound(structure string, seed int64, threads, ops, crashes int, keyRange int64, mean int) (int, error) {
-	pool := pmem.New(pmem.Config{
-		Mode:          pmem.ModeStrict,
-		CapacityWords: 1 << 22,
-		MaxThreads:    threads + 2,
-	})
-
-	var reattach func(pool *pmem.Pool) (chaos.ThreadFactory, error)
-	var finalKeys func() ([]int64, error)
-
-	switch structure {
-	case "list":
-		rlist.New(pool, threads+2, 0)
-		reattach = func(pool *pmem.Pool) (chaos.ThreadFactory, error) {
-			l, err := rlist.Attach(pool, 0)
-			if err != nil {
-				return nil, err
-			}
-			return func(tid int) (chaos.Thread, error) {
-				h := l.Handle(pool.NewThread(tid))
-				return setThread{
-					invoke: h.Invoke,
-					run: func(k int, key int64) bool {
-						switch k {
-						case 0:
-							return h.Insert(key)
-						case 1:
-							return h.Delete(key)
-						default:
-							return h.Find(key)
-						}
-					},
-					recover: func(k int, key int64) bool {
-						switch k {
-						case 0:
-							return h.RecoverInsert(key)
-						case 1:
-							return h.RecoverDelete(key)
-						default:
-							return h.RecoverFind(key)
-						}
-					},
-				}, nil
-			}, nil
-		}
-		finalKeys = func() ([]int64, error) {
-			l, err := rlist.Attach(pool, 0)
-			if err != nil {
-				return nil, err
-			}
-			boot := pool.NewThread(0)
-			if err := l.CheckInvariants(boot, true); err != nil {
-				return nil, err
-			}
-			return l.Keys(boot), nil
-		}
-	case "bst":
-		rbst.New(pool, threads+2, 0)
-		reattach = func(pool *pmem.Pool) (chaos.ThreadFactory, error) {
-			tr, err := rbst.Attach(pool, 0)
-			if err != nil {
-				return nil, err
-			}
-			return func(tid int) (chaos.Thread, error) {
-				h := tr.Handle(pool.NewThread(tid))
-				return setThread{
-					invoke: h.Invoke,
-					run: func(k int, key int64) bool {
-						switch k {
-						case 0:
-							return h.Insert(key)
-						case 1:
-							return h.Delete(key)
-						default:
-							return h.Find(key)
-						}
-					},
-					recover: func(k int, key int64) bool {
-						switch k {
-						case 0:
-							return h.RecoverInsert(key)
-						case 1:
-							return h.RecoverDelete(key)
-						default:
-							return h.RecoverFind(key)
-						}
-					},
-				}, nil
-			}, nil
-		}
-		finalKeys = func() ([]int64, error) {
-			tr, err := rbst.Attach(pool, 0)
-			if err != nil {
-				return nil, err
-			}
-			boot := pool.NewThread(0)
-			if err := tr.CheckInvariants(boot, true); err != nil {
-				return nil, err
-			}
-			return tr.Keys(boot), nil
-		}
-	case "capsules", "capsules-opt":
-		variant := capsules.VariantFull
-		if structure == "capsules-opt" {
-			variant = capsules.VariantOpt
-		}
-		capsules.New(pool, variant, threads+2, 0)
-		reattach = func(pool *pmem.Pool) (chaos.ThreadFactory, error) {
-			l, err := capsules.Attach(pool, variant, 0)
-			if err != nil {
-				return nil, err
-			}
-			return func(tid int) (chaos.Thread, error) {
-				h := l.Handle(pool.NewThread(tid))
-				return setThread{
-					invoke: h.Invoke,
-					run: func(k int, key int64) bool {
-						switch k {
-						case 0:
-							return h.Insert(key)
-						case 1:
-							return h.Delete(key)
-						default:
-							return h.Find(key)
-						}
-					},
-					recover: func(k int, key int64) bool {
-						switch k {
-						case 0:
-							return h.RecoverInsert(key)
-						case 1:
-							return h.RecoverDelete(key)
-						default:
-							return h.RecoverFind(key)
-						}
-					},
-				}, nil
-			}, nil
-		}
-		finalKeys = func() ([]int64, error) {
-			l, err := capsules.Attach(pool, variant, 0)
-			if err != nil {
-				return nil, err
-			}
-			boot := pool.NewThread(0)
-			if err := l.CheckInvariants(boot); err != nil {
-				return nil, err
-			}
-			return l.Keys(boot), nil
-		}
-	default:
-		return 0, fmt.Errorf("unknown structure %q", structure)
+// sortedKeys returns m's keys in sorted order for stable output.
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
 	}
-
-	res, err := chaos.Run(chaos.Config{
-		Pool:         pool,
-		Threads:      threads,
-		OpsPerThread: ops,
-		GenOp: func(rng *rand.Rand, tid, i int) chaos.Op {
-			return chaos.Op{Kind: rng.Intn(3), Key: rng.Int63n(keyRange) + 1}
-		},
-		Reattach:                   reattach,
-		Seed:                       seed,
-		MaxCrashes:                 crashes,
-		MeanAccessesBetweenCrashes: mean,
-		CommitProb:                 0.5,
-		EvictProb:                  0.1,
-	})
-	if err != nil {
-		return 0, err
-	}
-	keys, err := finalKeys()
-	if err != nil {
-		return 0, err
-	}
-	classify := func(rec chaos.OpRecord) (int64, int) {
-		if rec.Result != 1 {
-			return rec.Op.Key, 0
-		}
-		switch rec.Op.Kind {
-		case 0:
-			return rec.Op.Key, 1
-		case 1:
-			return rec.Op.Key, -1
-		default:
-			return rec.Op.Key, 0
-		}
-	}
-	if err := chaos.CheckSetAlternation(res.Logs, classify, keys); err != nil {
-		return 0, err
-	}
-	return res.Crashes, nil
+	sort.Strings(keys)
+	return keys
 }

@@ -1,31 +1,10 @@
-// Package chaos is the crash-injection test harness for the recoverable
-// data structures in this repository. It implements the system model of
-// Attiya et al. (PPoPP 2022), Section 2:
-//
-//   - threads run operations concurrently on a strict-mode pmem pool;
-//   - at a random persistent-memory access a system-wide crash strikes:
-//     every thread is interrupted (it panics with pmem.ErrCrashed at its
-//     next pool access and parks), volatile state is discarded, and the
-//     adversary decides which scheduled-but-unsynced write-backs and dirty
-//     cache lines reached NVMM;
-//   - the system then resurrects the threads and calls each interrupted
-//     operation's recovery function with its original arguments — unless
-//     the crash preceded the operation's failure-atomic invocation step,
-//     in which case the operation never started and is invoked normally;
-//   - a thread may crash again while recovering ("multiple crashes while
-//     executing Op and/or Op.Recover").
-//
-// Every operation therefore resolves to exactly one response. The harness
-// records all responses; CheckSetAlternation then validates detectable
-// exactly-once execution for set semantics: for each key, successful
-// inserts and deletes must alternate, and the net count must match the
-// key's presence in the final structure.
 package chaos
 
 import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/pmem"
 )
@@ -37,10 +16,19 @@ type Op struct {
 	Key  int64
 }
 
-// OpRecord is a resolved operation with its response.
+// OpRecord is a resolved operation with its response and its real-time
+// order stamps from a harness-global clock that survives crashes: Invoke
+// is taken when the operation is first issued, Return when it finally
+// resolves. An operation interrupted by one or more crashes keeps its
+// original Invoke stamp and gets its Return stamp when its recovery
+// function produces the response, so the (Invoke, Return) interval spans
+// the crashes — exactly the window within which a detectably recovered
+// operation must linearize.
 type OpRecord struct {
 	Op     Op
 	Result uint64
+	Invoke int64
+	Return int64
 }
 
 // Thread is the per-thread face of a recoverable structure under test.
@@ -92,10 +80,94 @@ type Result struct {
 // workerState is a thread's volatile progress, owned by the harness (the
 // "system" survives crashes; the simulated thread's memory does not).
 type workerState struct {
-	ops     []Op
-	log     []OpRecord
-	idx     int
-	invoked bool // current op passed its invocation step
+	ops       []Op
+	log       []OpRecord
+	idx       int
+	invoked   bool  // current op passed its invocation step
+	curInvoke int64 // Invoke stamp of the in-flight op (0 = none)
+}
+
+// makeStates builds the per-thread schedules for a run. Thread t+1's ops
+// are generated from a seed derived only from cfg.Seed and t, so schedules
+// are reproducible independently of execution order.
+func makeStates(threads, opsPerThread int, seed int64, genOp func(rng *rand.Rand, tid, i int) Op) []*workerState {
+	states := make([]*workerState, threads)
+	for t := 0; t < threads; t++ {
+		st := &workerState{}
+		opRng := rand.New(rand.NewSource(seed + int64(100+t)))
+		for i := 0; i < opsPerThread; i++ {
+			st.ops = append(st.ops, genOp(opRng, t+1, i))
+		}
+		states[t] = st
+	}
+	return states
+}
+
+// launchRound resumes every thread's schedule concurrently and waits for
+// all of them to finish their quota or park on a crash.
+func launchRound(states []*workerState, factory ThreadFactory, clock *atomic.Int64) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(states))
+	for t := range states {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			errs[t] = runWorker(states[t], t+1, factory, clock)
+		}(t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Schedule is the harness-owned volatile state of one fixed workload: the
+// per-thread operation sequences, each thread's progress through them, and
+// the crash-surviving global clock stamping the records. The "system"
+// (this struct) survives crashes; the simulated threads' memory does not.
+// Callers that inject their own crash points (the site sweep) drive a
+// Schedule directly instead of going through Run.
+type Schedule struct {
+	states []*workerState
+	clock  atomic.Int64
+}
+
+// NewSchedule generates the workload: thread t+1 runs opsPerThread
+// operations drawn from genOp with a seed derived only from seed and t, so
+// schedules are reproducible independently of execution order.
+func NewSchedule(threads, opsPerThread int, seed int64, genOp func(rng *rand.Rand, tid, i int) Op) *Schedule {
+	return &Schedule{states: makeStates(threads, opsPerThread, seed, genOp)}
+}
+
+// Resume runs every thread concurrently from its recorded progress until
+// it finishes its quota or parks on a crash (pmem.ErrCrashed). After a
+// crash the caller recovers the pool, rebuilds the factory, and calls
+// Resume again; interrupted operations re-enter via Thread.Recover.
+func (s *Schedule) Resume(factory ThreadFactory) error {
+	return launchRound(s.states, factory, &s.clock)
+}
+
+// Done reports whether every thread has resolved its full quota.
+func (s *Schedule) Done() bool {
+	for _, st := range s.states {
+		if st.idx < len(st.ops) {
+			return false
+		}
+	}
+	return true
+}
+
+// Logs returns the per-thread logs (thread t+1 at index t). The slices
+// alias the schedule's own state; read them only after the run settles.
+func (s *Schedule) Logs() [][]OpRecord {
+	out := make([][]OpRecord, len(s.states))
+	for t, st := range s.states {
+		out[t] = st.log
+	}
+	return out
 }
 
 // Run executes the chaos schedule and returns the per-thread logs.
@@ -112,21 +184,14 @@ func Run(cfg Config) (*Result, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	policyRng := rand.New(rand.NewSource(cfg.Seed + 1))
 
-	states := make([]*workerState, cfg.Threads)
-	for t := 0; t < cfg.Threads; t++ {
-		st := &workerState{}
-		opRng := rand.New(rand.NewSource(cfg.Seed + int64(100+t)))
-		for i := 0; i < cfg.OpsPerThread; i++ {
-			st.ops = append(st.ops, cfg.GenOp(opRng, t+1, i))
-		}
-		states[t] = st
-	}
+	states := makeStates(cfg.Threads, cfg.OpsPerThread, cfg.Seed, cfg.GenOp)
 
 	factory, err := cfg.Reattach(cfg.Pool)
 	if err != nil {
 		return nil, err
 	}
 
+	var clock atomic.Int64
 	res := &Result{}
 	for round := 0; ; round++ {
 		if round > cfg.MaxCrashes+1 {
@@ -136,21 +201,10 @@ func Run(cfg Config) (*Result, error) {
 			cfg.Pool.SetCrashAfter(int64(rng.Intn(2*cfg.MeanAccessesBetweenCrashes) + 1))
 		}
 
-		var wg sync.WaitGroup
-		errs := make([]error, cfg.Threads)
-		for t := 0; t < cfg.Threads; t++ {
-			wg.Add(1)
-			go func(t int) {
-				defer wg.Done()
-				errs[t] = runWorker(states[t], t+1, factory)
-			}(t)
-		}
-		wg.Wait()
+		err := launchRound(states, factory, &clock)
 		cfg.Pool.SetCrashAfter(0)
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
+		if err != nil {
+			return nil, err
 		}
 
 		if !cfg.Pool.CrashPending() {
@@ -177,7 +231,7 @@ func Run(cfg Config) (*Result, error) {
 
 // runWorker resumes a thread's schedule until it finishes its quota or a
 // crash parks it.
-func runWorker(st *workerState, tid int, factory ThreadFactory) (err error) {
+func runWorker(st *workerState, tid int, factory ThreadFactory, clock *atomic.Int64) (err error) {
 	if st.idx >= len(st.ops) {
 		return nil
 	}
@@ -195,6 +249,9 @@ func runWorker(st *workerState, tid int, factory ThreadFactory) (err error) {
 	}()
 	for st.idx < len(st.ops) {
 		op := st.ops[st.idx]
+		if st.curInvoke == 0 {
+			st.curInvoke = clock.Add(1)
+		}
 		var got uint64
 		if st.invoked {
 			// This op's invocation step completed before a crash:
@@ -205,9 +262,10 @@ func runWorker(st *workerState, tid int, factory ThreadFactory) (err error) {
 			st.invoked = true
 			got = th.Run(op)
 		}
-		st.log = append(st.log, OpRecord{Op: op, Result: got})
+		st.log = append(st.log, OpRecord{Op: op, Result: got, Invoke: st.curInvoke, Return: clock.Add(1)})
 		st.idx++
 		st.invoked = false
+		st.curInvoke = 0
 	}
 	return nil
 }

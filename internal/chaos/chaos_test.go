@@ -8,28 +8,18 @@ import (
 	"repro/internal/rlist"
 )
 
-const (
-	kindInsert = iota
-	kindDelete
-	kindFind
-)
-
+// listThread adapts an rlist handle to the harness Thread interface (the
+// structure adapter registry lives in chaos/sweep; this package's tests
+// keep a local copy to avoid an import cycle with the structures).
 type listThread struct{ h *rlist.Handle }
 
 func (lt listThread) Invoke() { lt.h.Invoke() }
 
-func b2u(b bool) uint64 {
-	if b {
-		return 1
-	}
-	return 0
-}
-
 func (lt listThread) Run(op Op) uint64 {
 	switch op.Kind {
-	case kindInsert:
+	case KindInsert:
 		return b2u(lt.h.Insert(op.Key))
-	case kindDelete:
+	case KindDelete:
 		return b2u(lt.h.Delete(op.Key))
 	default:
 		return b2u(lt.h.Find(op.Key))
@@ -38,9 +28,9 @@ func (lt listThread) Run(op Op) uint64 {
 
 func (lt listThread) Recover(op Op) uint64 {
 	switch op.Kind {
-	case kindInsert:
+	case KindInsert:
 		return b2u(lt.h.RecoverInsert(op.Key))
-	case kindDelete:
+	case KindDelete:
 		return b2u(lt.h.RecoverDelete(op.Key))
 	default:
 		return b2u(lt.h.RecoverFind(op.Key))
@@ -60,24 +50,23 @@ func listReattach(t *testing.T) func(pool *pmem.Pool) (ThreadFactory, error) {
 	}
 }
 
-func classifySet(rec OpRecord) (int64, int) {
-	if rec.Result != 1 {
-		return rec.Op.Key, 0
+// runListChaosResult runs an rlist chaos round and returns the raw result
+// for log-shape assertions.
+func runListChaosResult(t *testing.T, seed int64, threads, ops, crashes int) *Result {
+	t.Helper()
+	pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 20, MaxThreads: threads + 2})
+	rlist.New(pool, threads+2, 0)
+	res, err := Run(Config{
+		Pool: pool, Threads: threads, OpsPerThread: ops,
+		GenOp:    SetGenOp(8),
+		Reattach: listReattach(t),
+		Seed:     seed, MaxCrashes: crashes, MeanAccessesBetweenCrashes: 400,
+		CommitProb: 0.5, EvictProb: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
-	switch rec.Op.Kind {
-	case kindInsert:
-		return rec.Op.Key, 1
-	case kindDelete:
-		return rec.Op.Key, -1
-	default:
-		return rec.Op.Key, 0
-	}
-}
-
-func genSetOp(keyRange int64) func(rng *rand.Rand, tid, i int) Op {
-	return func(rng *rand.Rand, tid, i int) Op {
-		return Op{Kind: rng.Intn(3), Key: rng.Int63n(keyRange) + 1}
-	}
+	return res
 }
 
 func runListChaos(t *testing.T, seed int64, threads, ops, crashes int) {
@@ -89,7 +78,7 @@ func runListChaos(t *testing.T, seed int64, threads, ops, crashes int) {
 		Pool:                       pool,
 		Threads:                    threads,
 		OpsPerThread:               ops,
-		GenOp:                      genSetOp(16),
+		GenOp:                      SetGenOp(16),
 		Reattach:                   listReattach(t),
 		Seed:                       seed,
 		MaxCrashes:                 crashes,
@@ -109,7 +98,7 @@ func runListChaos(t *testing.T, seed int64, threads, ops, crashes int) {
 	if err := l.CheckInvariants(boot, true); err != nil {
 		t.Fatalf("seed %d: %v (after %d crashes)", seed, err, res.Crashes)
 	}
-	if err := CheckSetAlternation(res.Logs, classifySet, l.Keys(boot)); err != nil {
+	if err := CheckSetAlternation(res.Logs, SetClassifier, l.Keys(boot)); err != nil {
 		t.Fatalf("seed %d: %v (after %d crashes)", seed, err, res.Crashes)
 	}
 }
@@ -139,7 +128,7 @@ func TestChaosListSingleThreadManyCrashes(t *testing.T) {
 			Pool:                       pool,
 			Threads:                    1,
 			OpsPerThread:               40,
-			GenOp:                      genSetOp(8),
+			GenOp:                      SetGenOp(8),
 			Reattach:                   listReattach(t),
 			Seed:                       seed,
 			MaxCrashes:                 10,
@@ -155,7 +144,7 @@ func TestChaosListSingleThreadManyCrashes(t *testing.T) {
 			t.Fatal(err)
 		}
 		boot := pool.NewThread(0)
-		if err := CheckSetAlternation(res.Logs, classifySet, l.Keys(boot)); err != nil {
+		if err := CheckSetAlternation(res.Logs, SetClassifier, l.Keys(boot)); err != nil {
 			t.Fatalf("seed %d: %v (crashes %d)", seed, err, res.Crashes)
 		}
 		// Single-threaded runs are deterministic: compare against a model.
@@ -163,10 +152,10 @@ func TestChaosListSingleThreadManyCrashes(t *testing.T) {
 		for _, rec := range res.Logs[0] {
 			var want uint64
 			switch rec.Op.Kind {
-			case kindInsert:
+			case KindInsert:
 				want = b2u(!model[rec.Op.Key])
 				model[rec.Op.Key] = true
-			case kindDelete:
+			case KindDelete:
 				want = b2u(model[rec.Op.Key])
 				delete(model, rec.Op.Key)
 			default:
@@ -181,26 +170,26 @@ func TestChaosListSingleThreadManyCrashes(t *testing.T) {
 
 func TestCheckSetAlternationCatchesDuplicates(t *testing.T) {
 	logs := [][]OpRecord{{
-		{Op: Op{Kind: kindInsert, Key: 3}, Result: 1},
-		{Op: Op{Kind: kindInsert, Key: 3}, Result: 1}, // applied twice: bug
+		{Op: Op{Kind: KindInsert, Key: 3}, Result: 1},
+		{Op: Op{Kind: KindInsert, Key: 3}, Result: 1}, // applied twice: bug
 	}}
-	if err := CheckSetAlternation(logs, classifySet, []int64{3}); err == nil {
+	if err := CheckSetAlternation(logs, SetClassifier, []int64{3}); err == nil {
 		t.Fatal("duplicate successful insert not detected")
 	}
 }
 
 func TestCheckSetAlternationCatchesLostEffect(t *testing.T) {
 	logs := [][]OpRecord{{
-		{Op: Op{Kind: kindInsert, Key: 4}, Result: 1},
+		{Op: Op{Kind: KindInsert, Key: 4}, Result: 1},
 	}}
 	// Insert succeeded but the key is not in the final structure.
-	if err := CheckSetAlternation(logs, classifySet, nil); err == nil {
+	if err := CheckSetAlternation(logs, SetClassifier, nil); err == nil {
 		t.Fatal("lost insert not detected")
 	}
 }
 
 func TestCheckSetAlternationCatchesGhostKey(t *testing.T) {
-	if err := CheckSetAlternation(nil, classifySet, []int64{9}); err == nil {
+	if err := CheckSetAlternation(nil, SetClassifier, []int64{9}); err == nil {
 		t.Fatal("ghost key not detected")
 	}
 }
@@ -208,17 +197,17 @@ func TestCheckSetAlternationCatchesGhostKey(t *testing.T) {
 func TestCheckSetAlternationAcceptsValidHistory(t *testing.T) {
 	logs := [][]OpRecord{
 		{
-			{Op: Op{Kind: kindInsert, Key: 1}, Result: 1},
-			{Op: Op{Kind: kindDelete, Key: 1}, Result: 1},
-			{Op: Op{Kind: kindInsert, Key: 2}, Result: 1},
+			{Op: Op{Kind: KindInsert, Key: 1}, Result: 1},
+			{Op: Op{Kind: KindDelete, Key: 1}, Result: 1},
+			{Op: Op{Kind: KindInsert, Key: 2}, Result: 1},
 		},
 		{
-			{Op: Op{Kind: kindInsert, Key: 1}, Result: 1},
-			{Op: Op{Kind: kindFind, Key: 2}, Result: 1},
-			{Op: Op{Kind: kindInsert, Key: 2}, Result: 0},
+			{Op: Op{Kind: KindInsert, Key: 1}, Result: 1},
+			{Op: Op{Kind: KindFind, Key: 2}, Result: 1},
+			{Op: Op{Kind: KindInsert, Key: 2}, Result: 0},
 		},
 	}
-	if err := CheckSetAlternation(logs, classifySet, []int64{1, 2}); err != nil {
+	if err := CheckSetAlternation(logs, SetClassifier, []int64{1, 2}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -252,7 +241,7 @@ func TestLogsCompleteAndOrdered(t *testing.T) {
 	const threads, ops = 3, 25
 	res, err := Run(Config{
 		Pool: pool, Threads: threads, OpsPerThread: ops,
-		GenOp:    genSetOp(8),
+		GenOp:    SetGenOp(8),
 		Reattach: listReattach(t),
 		Seed:     7, MaxCrashes: 4, MeanAccessesBetweenCrashes: 500,
 		CommitProb: 0.5, EvictProb: 0.1,
@@ -270,7 +259,7 @@ func TestLogsCompleteAndOrdered(t *testing.T) {
 		// The log must replay the thread's deterministic op sequence.
 		rng := rand.New(rand.NewSource(7 + int64(100+tid)))
 		for i, rec := range log {
-			want := genSetOp(8)(rng, tid+1, i)
+			want := SetGenOp(8)(rng, tid+1, i)
 			if rec.Op != want {
 				t.Fatalf("thread %d op %d = %+v, want %+v", tid+1, i, rec.Op, want)
 			}

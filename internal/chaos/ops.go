@@ -1,0 +1,66 @@
+package chaos
+
+import "math/rand"
+
+// This file fixes the operation encodings the structure adapters (package
+// chaos/sweep) and the semantic oracles (oracle.go) share: which Op.Kind
+// values mean what, per structure class.
+
+// Operation kinds shared by every set-structure adapter (list, BST, hash,
+// capsules): the Op.Key is the set element.
+const (
+	KindInsert = iota
+	KindDelete
+	KindFind
+)
+
+// Operation kinds of the queue adapter: KindEnqueue's Op.Key is the value
+// (unique per operation), KindDequeue ignores it.
+const (
+	KindEnqueue = iota
+	KindDequeue
+)
+
+// Operation kinds of the stack adapter: KindPush's Op.Key is the value
+// (unique per operation), KindPop ignores it.
+const (
+	KindPush = iota
+	KindPop
+)
+
+// KindExchange is the exchanger adapter's single operation kind; Op.Key is
+// the offered value (unique per operation).
+const KindExchange = 0
+
+// b2u converts a boolean response to the uint64 the harness records.
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// SetGenOp returns the set workload generator: a uniform mix of Insert,
+// Delete and Find over keys in [1, keyRange]. Small ranges maximize key
+// collisions and therefore helping, backtracking and contended persists.
+func SetGenOp(keyRange int64) func(rng *rand.Rand, tid, i int) Op {
+	return func(rng *rand.Rand, tid, i int) Op {
+		return Op{Kind: rng.Intn(3), Key: rng.Int63n(keyRange) + 1}
+	}
+}
+
+// SetClassifier is the CheckSetAlternation classifier for the set
+// operation encoding.
+func SetClassifier(rec OpRecord) (int64, int) {
+	if rec.Result != 1 {
+		return rec.Op.Key, 0
+	}
+	switch rec.Op.Kind {
+	case KindInsert:
+		return rec.Op.Key, 1
+	case KindDelete:
+		return rec.Op.Key, -1
+	default:
+		return rec.Op.Key, 0
+	}
+}

@@ -1,0 +1,346 @@
+package chaos
+
+// This file holds the semantic oracles the adapters run over a finished
+// (possibly crash-riddled) execution. Each one checks detectable
+// exactly-once semantics for its structure class: every operation's effect
+// happened exactly once and its recorded response is consistent with some
+// legal concurrent execution, even though the run may have crashed and
+// recovered many times in the middle.
+
+import (
+	"fmt"
+
+	"repro/internal/histcheck"
+)
+
+// CheckSetLinearizable runs the Wing-Gong linearizability checker of
+// internal/histcheck over a set history, using the (Invoke, Return) stamps
+// the harness records. Histories beyond the checker's bounds (more than
+// histcheck.MaxOps operations or 64 distinct keys) are skipped — the
+// exhaustive search is exponential, and CheckSetAlternation still covers
+// them — so a nil error means "linearizable or out of checker bounds".
+func CheckSetLinearizable(logs [][]OpRecord) error {
+	total := 0
+	keys := map[int64]bool{}
+	for _, log := range logs {
+		total += len(log)
+		for _, rec := range log {
+			keys[rec.Op.Key] = true
+		}
+	}
+	if total > histcheck.MaxOps || len(keys) > 64 {
+		return nil
+	}
+	ops := make([]histcheck.Op, 0, total)
+	for _, log := range logs {
+		for _, rec := range log {
+			var kind histcheck.Kind
+			switch rec.Op.Kind {
+			case KindInsert:
+				kind = histcheck.Insert
+			case KindDelete:
+				kind = histcheck.Delete
+			default:
+				kind = histcheck.Find
+			}
+			ops = append(ops, histcheck.Op{
+				Kind:   kind,
+				Key:    rec.Op.Key,
+				Result: rec.Result == 1,
+				Invoke: rec.Invoke,
+				Return: rec.Return,
+			})
+		}
+	}
+	return histcheck.CheckSet(ops)
+}
+
+// CheckSetSequential replays a single-threaded set log against the
+// sequential specification. With one worker the recorded order is the real
+// execution order, so every response is exactly determined.
+func CheckSetSequential(log []OpRecord) error {
+	model := map[int64]bool{}
+	for i, rec := range log {
+		var want uint64
+		switch rec.Op.Kind {
+		case KindInsert:
+			want = b2u(!model[rec.Op.Key])
+			model[rec.Op.Key] = true
+		case KindDelete:
+			want = b2u(model[rec.Op.Key])
+			delete(model, rec.Op.Key)
+		default:
+			want = b2u(model[rec.Op.Key])
+		}
+		if rec.Result != want {
+			return fmt.Errorf("chaos: sequential set replay: op %d %+v returned %d, model says %d",
+				i, rec.Op, rec.Result, want)
+		}
+	}
+	return nil
+}
+
+// CheckQueueExactlyOnce validates detectable exactly-once queue semantics.
+// remaining is the final queue content in FIFO order; empty is the
+// structure's empty-queue sentinel. It checks that
+//
+//   - every dequeued or remaining value was enqueued, and no value appears
+//     twice across dequeue responses and the final queue (no duplicated
+//     enqueue or dequeue effect);
+//   - every enqueued value was dequeued or remains (no lost enqueue);
+//   - per producing thread, the dequeued values form a prefix of that
+//     thread's enqueue order and the remaining values are exactly the
+//     suffix, in order. A sequential producer's enqueues are totally
+//     ordered, so FIFO forbids a later value leaving the queue while an
+//     earlier one stays.
+//
+// Values must be unique across all enqueues (the adapter's generator
+// guarantees this); a duplicated value is reported as a generator bug.
+func CheckQueueExactlyOnce(logs [][]OpRecord, remaining []uint64, empty uint64) error {
+	owner := map[uint64]int{} // value -> producing thread index
+	enqSeq := map[int][]uint64{}
+	for t, log := range logs {
+		for _, rec := range log {
+			if rec.Op.Kind != KindEnqueue {
+				continue
+			}
+			v := uint64(rec.Op.Key)
+			if _, dup := owner[v]; dup {
+				return fmt.Errorf("chaos: value %d enqueued twice (generator bug)", v)
+			}
+			owner[v] = t
+			enqSeq[t] = append(enqSeq[t], v)
+		}
+	}
+	dequeued := map[uint64]bool{}
+	for t, log := range logs {
+		for _, rec := range log {
+			if rec.Op.Kind != KindDequeue || rec.Result == empty {
+				continue
+			}
+			v := rec.Result
+			if _, ok := owner[v]; !ok {
+				return fmt.Errorf("chaos: thread %d dequeued %d, never enqueued", t+1, v)
+			}
+			if dequeued[v] {
+				return fmt.Errorf("chaos: value %d dequeued twice", v)
+			}
+			dequeued[v] = true
+		}
+	}
+	remByProducer := map[int][]uint64{}
+	remSeen := map[uint64]bool{}
+	for _, v := range remaining {
+		t, ok := owner[v]
+		if !ok {
+			return fmt.Errorf("chaos: final queue holds %d, never enqueued", v)
+		}
+		if remSeen[v] {
+			return fmt.Errorf("chaos: value %d appears twice in the final queue", v)
+		}
+		if dequeued[v] {
+			return fmt.Errorf("chaos: value %d both dequeued and still queued", v)
+		}
+		remSeen[v] = true
+		remByProducer[t] = append(remByProducer[t], v)
+	}
+	for v := range owner {
+		if !dequeued[v] && !remSeen[v] {
+			return fmt.Errorf("chaos: enqueued value %d lost (neither dequeued nor queued)", v)
+		}
+	}
+	for t, seq := range enqSeq {
+		i := 0
+		for i < len(seq) && dequeued[seq[i]] {
+			i++
+		}
+		for j := i; j < len(seq); j++ {
+			if dequeued[seq[j]] {
+				return fmt.Errorf("chaos: FIFO violation: thread %d's value %d dequeued while earlier %d remains",
+					t+1, seq[j], seq[i])
+			}
+		}
+		rem := remByProducer[t]
+		if len(rem) != len(seq)-i {
+			return fmt.Errorf("chaos: thread %d has %d values in the final queue, want %d",
+				t+1, len(rem), len(seq)-i)
+		}
+		for j, v := range rem {
+			if v != seq[i+j] {
+				return fmt.Errorf("chaos: FIFO violation in final queue: thread %d's values out of enqueue order", t+1)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckQueueSequential replays a single-threaded queue log against the
+// sequential FIFO specification.
+func CheckQueueSequential(log []OpRecord, empty uint64) error {
+	var q []uint64
+	for i, rec := range log {
+		if rec.Op.Kind == KindEnqueue {
+			q = append(q, uint64(rec.Op.Key))
+			continue
+		}
+		want := empty
+		if len(q) > 0 {
+			want = q[0]
+			q = q[1:]
+		}
+		if rec.Result != want {
+			return fmt.Errorf("chaos: sequential queue replay: op %d dequeued %d, model says %d",
+				i, rec.Result, want)
+		}
+	}
+	return nil
+}
+
+// CheckStackExactlyOnce validates detectable exactly-once stack semantics.
+// snapshot is the final stack content from top to bottom; empty is the
+// structure's empty-stack sentinel. The accounting mirrors
+// CheckQueueExactlyOnce (every value enqueued exactly once resolves to
+// exactly one pop or one final-stack slot); the ordering check is LIFO's:
+// among one producer's surviving values, the snapshot (top first) must list
+// them in reverse push order — a producer's older push can legally outlive
+// a newer one (the newer was popped), but the newer can never sit below the
+// older in the stack.
+func CheckStackExactlyOnce(logs [][]OpRecord, snapshot []uint64, empty uint64) error {
+	owner := map[uint64]int{}
+	pushIdx := map[uint64]int{} // value -> index in its producer's push order
+	pushSeq := map[int][]uint64{}
+	for t, log := range logs {
+		for _, rec := range log {
+			if rec.Op.Kind != KindPush {
+				continue
+			}
+			v := uint64(rec.Op.Key)
+			if _, dup := owner[v]; dup {
+				return fmt.Errorf("chaos: value %d pushed twice (generator bug)", v)
+			}
+			owner[v] = t
+			pushIdx[v] = len(pushSeq[t])
+			pushSeq[t] = append(pushSeq[t], v)
+		}
+	}
+	popped := map[uint64]bool{}
+	for t, log := range logs {
+		for _, rec := range log {
+			if rec.Op.Kind != KindPop || rec.Result == empty {
+				continue
+			}
+			v := rec.Result
+			if _, ok := owner[v]; !ok {
+				return fmt.Errorf("chaos: thread %d popped %d, never pushed", t+1, v)
+			}
+			if popped[v] {
+				return fmt.Errorf("chaos: value %d popped twice", v)
+			}
+			popped[v] = true
+		}
+	}
+	snapSeen := map[uint64]bool{}
+	lastIdx := map[int]int{} // producer -> push index of its previous snapshot value
+	for _, v := range snapshot {
+		t, ok := owner[v]
+		if !ok {
+			return fmt.Errorf("chaos: final stack holds %d, never pushed", v)
+		}
+		if snapSeen[v] {
+			return fmt.Errorf("chaos: value %d appears twice in the final stack", v)
+		}
+		if popped[v] {
+			return fmt.Errorf("chaos: value %d both popped and still stacked", v)
+		}
+		snapSeen[v] = true
+		if prev, ok := lastIdx[t]; ok && pushIdx[v] >= prev {
+			return fmt.Errorf("chaos: LIFO violation in final stack: thread %d's value %d below an earlier push", t+1, v)
+		}
+		lastIdx[t] = pushIdx[v]
+	}
+	for v := range owner {
+		if !popped[v] && !snapSeen[v] {
+			return fmt.Errorf("chaos: pushed value %d lost (neither popped nor stacked)", v)
+		}
+	}
+	return nil
+}
+
+// CheckStackSequential replays a single-threaded stack log against the
+// sequential LIFO specification.
+func CheckStackSequential(log []OpRecord, empty uint64) error {
+	var s []uint64
+	for i, rec := range log {
+		if rec.Op.Kind == KindPush {
+			s = append(s, uint64(rec.Op.Key))
+			continue
+		}
+		want := empty
+		if len(s) > 0 {
+			want = s[len(s)-1]
+			s = s[:len(s)-1]
+		}
+		if rec.Result != want {
+			return fmt.Errorf("chaos: sequential stack replay: op %d popped %d, model says %d",
+				i, rec.Result, want)
+		}
+	}
+	return nil
+}
+
+// CheckExchangerPairing validates detectable exactly-once exchange
+// semantics over a log of KindExchange operations with unique offered
+// values; timedOut is the structure's timeout sentinel. Every non-timeout
+// response must name a value some operation actually offered, the pairing
+// must be symmetric (if A received B's value, B received A's), an operation
+// never pairs with itself, each value is received at most once, and the two
+// paired operations' (Invoke, Return) intervals must overlap — exchanges
+// are between concurrent operations, and the stamps survive crashes.
+func CheckExchangerPairing(logs [][]OpRecord, timedOut uint64) error {
+	type xop struct {
+		rec OpRecord
+		tid int
+	}
+	var all []xop
+	byValue := map[uint64]int{} // offered value -> index in all
+	for t, log := range logs {
+		for _, rec := range log {
+			if rec.Op.Kind != KindExchange {
+				continue
+			}
+			v := uint64(rec.Op.Key)
+			if _, dup := byValue[v]; dup {
+				return fmt.Errorf("chaos: value %d offered twice (generator bug)", v)
+			}
+			byValue[v] = len(all)
+			all = append(all, xop{rec: rec, tid: t + 1})
+		}
+	}
+	received := map[uint64]int{} // value -> index of the op that received it
+	for i, x := range all {
+		if x.rec.Result == timedOut {
+			continue
+		}
+		j, ok := byValue[x.rec.Result]
+		if !ok {
+			return fmt.Errorf("chaos: thread %d received %d, never offered", x.tid, x.rec.Result)
+		}
+		if j == i {
+			return fmt.Errorf("chaos: thread %d exchanged with itself (value %d)", x.tid, x.rec.Result)
+		}
+		if prev, dup := received[x.rec.Result]; dup {
+			return fmt.Errorf("chaos: value %d received by two operations (threads %d and %d)",
+				x.rec.Result, all[prev].tid, x.tid)
+		}
+		received[x.rec.Result] = i
+		partner := all[j]
+		if partner.rec.Result != uint64(x.rec.Op.Key) {
+			return fmt.Errorf("chaos: asymmetric exchange: thread %d got %d but its partner (thread %d) got %d, want %d",
+				x.tid, x.rec.Result, partner.tid, partner.rec.Result, uint64(x.rec.Op.Key))
+		}
+		if x.rec.Invoke > partner.rec.Return || partner.rec.Invoke > x.rec.Return {
+			return fmt.Errorf("chaos: threads %d and %d exchanged without overlapping in time", x.tid, partner.tid)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package chaos
+
+import "testing"
+
+func TestCheckQueueExactlyOnceViolations(t *testing.T) {
+	const empty = uint64(1) << 62
+	enq := func(v int64) OpRecord { return OpRecord{Op: Op{Kind: KindEnqueue, Key: v}, Result: 1} }
+	deq := func(v uint64) OpRecord { return OpRecord{Op: Op{Kind: KindDequeue}, Result: v} }
+
+	ok := [][]OpRecord{{enq(1), enq(2), deq(1)}}
+	if err := CheckQueueExactlyOnce(ok, []uint64{2}, empty); err != nil {
+		t.Fatalf("valid history rejected: %v", err)
+	}
+	cases := []struct {
+		name      string
+		logs      [][]OpRecord
+		remaining []uint64
+	}{
+		{"lost enqueue", [][]OpRecord{{enq(1)}}, nil},
+		{"dequeue of ghost", [][]OpRecord{{deq(9)}}, nil},
+		{"double dequeue", [][]OpRecord{{enq(1), deq(1), deq(1)}}, nil},
+		{"dequeued and remaining", [][]OpRecord{{enq(1), deq(1)}}, []uint64{1}},
+		{"ghost in final queue", [][]OpRecord{{}}, []uint64{5}},
+		{"fifo violation", [][]OpRecord{{enq(1), enq(2), deq(2)}}, []uint64{1}},
+		{"final order flipped", [][]OpRecord{{enq(1), enq(2)}}, []uint64{2, 1}},
+	}
+	for _, c := range cases {
+		if err := CheckQueueExactlyOnce(c.logs, c.remaining, empty); err == nil {
+			t.Errorf("%s not detected", c.name)
+		}
+	}
+}
+
+func TestCheckQueueSequential(t *testing.T) {
+	const empty = uint64(1) << 62
+	log := []OpRecord{
+		{Op: Op{Kind: KindEnqueue, Key: 5}, Result: 1},
+		{Op: Op{Kind: KindDequeue}, Result: 5},
+		{Op: Op{Kind: KindDequeue}, Result: empty},
+	}
+	if err := CheckQueueSequential(log, empty); err != nil {
+		t.Fatal(err)
+	}
+	log[2].Result = 5 // dequeued again from an empty queue
+	if err := CheckQueueSequential(log, empty); err == nil {
+		t.Fatal("replay divergence not detected")
+	}
+}
+
+func TestCheckStackExactlyOnceViolations(t *testing.T) {
+	const empty = uint64(1) << 62
+	push := func(v int64) OpRecord { return OpRecord{Op: Op{Kind: KindPush, Key: v}, Result: 1} }
+	pop := func(v uint64) OpRecord { return OpRecord{Op: Op{Kind: KindPop}, Result: v} }
+
+	// Pop of 2 implies 2 was on top, so 3 was pushed after the pop; the
+	// final stack top-first must be newest-first per producer: 3 then 1.
+	ok := [][]OpRecord{{push(1), push(2), pop(2), push(3)}}
+	if err := CheckStackExactlyOnce(ok, []uint64{3, 1}, empty); err != nil {
+		t.Fatalf("valid history rejected: %v", err)
+	}
+	cases := []struct {
+		name     string
+		logs     [][]OpRecord
+		snapshot []uint64
+	}{
+		{"lost push", [][]OpRecord{{push(1)}}, nil},
+		{"pop of ghost", [][]OpRecord{{pop(9)}}, nil},
+		{"double pop", [][]OpRecord{{push(1), pop(1), pop(1)}}, nil},
+		{"popped and stacked", [][]OpRecord{{push(1), pop(1)}}, []uint64{1}},
+		{"lifo order flipped", [][]OpRecord{{push(1), push(2)}}, []uint64{1, 2}},
+	}
+	for _, c := range cases {
+		if err := CheckStackExactlyOnce(c.logs, c.snapshot, empty); err == nil {
+			t.Errorf("%s not detected", c.name)
+		}
+	}
+}
+
+func TestCheckStackSequential(t *testing.T) {
+	const empty = uint64(1) << 62
+	log := []OpRecord{
+		{Op: Op{Kind: KindPush, Key: 4}, Result: 1},
+		{Op: Op{Kind: KindPush, Key: 5}, Result: 1},
+		{Op: Op{Kind: KindPop}, Result: 5},
+		{Op: Op{Kind: KindPop}, Result: 4},
+		{Op: Op{Kind: KindPop}, Result: empty},
+	}
+	if err := CheckStackSequential(log, empty); err != nil {
+		t.Fatal(err)
+	}
+	log[2].Result = 4 // popped in FIFO instead of LIFO order
+	if err := CheckStackSequential(log, empty); err == nil {
+		t.Fatal("replay divergence not detected")
+	}
+}
+
+func TestCheckExchangerPairingViolations(t *testing.T) {
+	const timedOut = ^uint64(0) - 1
+	x := func(offer int64, got uint64, inv, ret int64) OpRecord {
+		return OpRecord{Op: Op{Kind: KindExchange, Key: offer}, Result: got, Invoke: inv, Return: ret}
+	}
+	ok := [][]OpRecord{
+		{x(1, 2, 1, 4), x(3, timedOut, 5, 6)},
+		{x(2, 1, 2, 3)},
+	}
+	if err := CheckExchangerPairing(ok, timedOut); err != nil {
+		t.Fatalf("valid history rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		logs [][]OpRecord
+	}{
+		{"ghost value", [][]OpRecord{{x(1, 9, 1, 2)}}},
+		{"self exchange", [][]OpRecord{{x(1, 1, 1, 2)}}},
+		{"asymmetric", [][]OpRecord{{x(1, 2, 1, 4)}, {x(2, timedOut, 2, 3)}}},
+		{"value received twice", [][]OpRecord{
+			{x(1, 2, 1, 8)}, {x(2, 1, 2, 7)}, {x(3, 2, 3, 6)},
+		}},
+		{"no temporal overlap", [][]OpRecord{{x(1, 2, 1, 2)}, {x(2, 1, 3, 4)}}},
+	}
+	for _, c := range cases {
+		if err := CheckExchangerPairing(c.logs, timedOut); err == nil {
+			t.Errorf("%s not detected", c.name)
+		}
+	}
+}
+
+func TestCheckSetLinearizable(t *testing.T) {
+	// Two overlapping inserts of the same key, both reporting success: not
+	// linearizable, and invisible to the alternation oracle alone if a
+	// delete balances the count.
+	bad := [][]OpRecord{
+		{{Op: Op{Kind: KindInsert, Key: 1}, Result: 1, Invoke: 1, Return: 4}},
+		{{Op: Op{Kind: KindInsert, Key: 1}, Result: 1, Invoke: 2, Return: 3}},
+	}
+	if err := CheckSetLinearizable(bad); err == nil {
+		t.Fatal("double successful insert not detected")
+	}
+	good := [][]OpRecord{
+		{{Op: Op{Kind: KindInsert, Key: 1}, Result: 1, Invoke: 1, Return: 4}},
+		{{Op: Op{Kind: KindInsert, Key: 1}, Result: 0, Invoke: 2, Return: 3}},
+	}
+	if err := CheckSetLinearizable(good); err != nil {
+		t.Fatal(err)
+	}
+	// Oversized histories are skipped, not failed.
+	var big [][]OpRecord
+	for i := 0; i < 100; i++ {
+		big = append(big, []OpRecord{{Op: Op{Kind: KindInsert, Key: 1}, Result: 1, Invoke: int64(2*i + 1), Return: int64(2*i + 2)}})
+	}
+	if err := CheckSetLinearizable(big); err != nil {
+		t.Fatalf("oversized history must be skipped, got %v", err)
+	}
+}
+
+// TestOpRecordStampsWellFormed checks the harness clock: stamps are unique,
+// per-op intervals are ordered, and a thread's ops do not overlap each
+// other even across crashes.
+func TestOpRecordStampsWellFormed(t *testing.T) {
+	res := runListChaosResult(t, 9, 3, 20, 4)
+	seen := map[int64]bool{}
+	for tid, log := range res.Logs {
+		prevReturn := int64(0)
+		for i, rec := range log {
+			if rec.Invoke <= 0 || rec.Return <= rec.Invoke {
+				t.Fatalf("thread %d op %d has stamps (%d, %d)", tid+1, i, rec.Invoke, rec.Return)
+			}
+			if rec.Invoke <= prevReturn {
+				t.Fatalf("thread %d op %d invoked at %d before its predecessor returned at %d",
+					tid+1, i, rec.Invoke, prevReturn)
+			}
+			prevReturn = rec.Return
+			for _, s := range []int64{rec.Invoke, rec.Return} {
+				if seen[s] {
+					t.Fatalf("clock stamp %d used twice", s)
+				}
+				seen[s] = true
+			}
+		}
+	}
+}

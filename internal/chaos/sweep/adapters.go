@@ -1,0 +1,475 @@
+package sweep
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/capsules"
+	"repro/internal/chaos"
+	"repro/internal/pmem"
+	"repro/internal/rbst"
+	"repro/internal/rexchanger"
+	"repro/internal/rhash"
+	"repro/internal/rlist"
+	"repro/internal/rqueue"
+	"repro/internal/rstack"
+)
+
+// Adapter connects one recoverable structure to the chaos and sweep
+// harnesses: how to build it, how to drive it, and how to audit a finished
+// run for detectable exactly-once semantics.
+type Adapter struct {
+	// Name is the registry key ("rlist", "rqueue", ...).
+	Name string
+	// SitePrefix selects the structure's pwb code lines among the pool's
+	// registered site labels: the sweep enumerates exactly the sites whose
+	// label starts with SitePrefix + "/".
+	SitePrefix string
+	// MinThreads is the smallest worker count the structure needs (the
+	// exchanger requires a partner; everything else runs single-threaded).
+	MinThreads int
+	// DefaultSweep reports whether "-structure all" sweeps include this
+	// adapter (the six detectably recoverable structures; the Capsules
+	// baselines are opt-in).
+	DefaultSweep bool
+	// Setup creates a fresh instance in pool with its header in root slot
+	// 0, sized for thread ids in [0, maxThreads).
+	Setup func(pool *pmem.Pool, maxThreads int)
+	// Reattach rebuilds the structure's per-thread handles after pool
+	// recovery (or at run start).
+	Reattach func(pool *pmem.Pool) (chaos.ThreadFactory, error)
+	// GenOp produces thread tid's i-th operation of the default workload.
+	GenOp func(rng *rand.Rand, tid, i int) chaos.Op
+	// KeyedGen, when non-nil, builds a GenOp over a caller-chosen key
+	// range (set structures only; value structures ignore key ranges).
+	KeyedGen func(keyRange int64) func(rng *rand.Rand, tid, i int) chaos.Op
+	// Validate audits a finished run: structure invariants plus the
+	// exactly-once oracle for the structure's semantics (and, for sets, a
+	// linearizability pass when the history fits the checker's bounds).
+	Validate func(pool *pmem.Pool, res *chaos.Result) error
+	// Scripted maps site labels that profiled workloads cannot reach to
+	// deterministic provocation scenarios that do (see provoke.go). The
+	// sweep crashes at such a site through its scenario instead of a
+	// generated workload.
+	Scripted map[string]func(pool *pmem.Pool, p *Provoker) error
+	// Unreachable maps registered site labels that no execution of this
+	// structure can ever hit to the structural reason why; the sweep
+	// reports them instead of counting them as coverage gaps.
+	Unreachable map[string]string
+}
+
+// adapterRegistry is populated at init time and read-only afterwards.
+var adapterRegistry = map[string]*Adapter{}
+
+// RegisterAdapter adds an adapter to the registry. It panics on a
+// duplicate name; adapters are registered from init functions only.
+func RegisterAdapter(a *Adapter) {
+	if _, dup := adapterRegistry[a.Name]; dup {
+		panic("sweep: duplicate adapter " + a.Name)
+	}
+	adapterRegistry[a.Name] = a
+}
+
+// AdapterByName returns the registered adapter called name.
+func AdapterByName(name string) (*Adapter, error) {
+	a, ok := adapterRegistry[name]
+	if !ok {
+		return nil, fmt.Errorf("sweep: unknown structure %q (have %v)", name, AdapterNames())
+	}
+	return a, nil
+}
+
+// AdapterNames returns the registered adapter names, sorted.
+func AdapterNames() []string {
+	out := make([]string, 0, len(adapterRegistry))
+	for n := range adapterRegistry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DefaultAdapters returns the adapters included in "-structure all"
+// sweeps, sorted by name.
+func DefaultAdapters() []*Adapter {
+	var out []*Adapter
+	for _, n := range AdapterNames() {
+		if a := adapterRegistry[n]; a.DefaultSweep {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// b2u converts a boolean response to the uint64 the harness records.
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// setOps is the common face of every set structure in this repository
+// (rlist, rbst, rhash, capsules); the compiler checks each Handle against
+// it structurally.
+type setOps interface {
+	Invoke()
+	Insert(key int64) bool
+	Delete(key int64) bool
+	Find(key int64) bool
+	RecoverInsert(key int64) bool
+	RecoverDelete(key int64) bool
+	RecoverFind(key int64) bool
+}
+
+// setThread adapts a setOps handle to the harness Thread interface.
+type setThread struct{ h setOps }
+
+func (s setThread) Invoke() { s.h.Invoke() }
+
+func (s setThread) Run(op chaos.Op) uint64 {
+	switch op.Kind {
+	case chaos.KindInsert:
+		return b2u(s.h.Insert(op.Key))
+	case chaos.KindDelete:
+		return b2u(s.h.Delete(op.Key))
+	default:
+		return b2u(s.h.Find(op.Key))
+	}
+}
+
+func (s setThread) Recover(op chaos.Op) uint64 {
+	switch op.Kind {
+	case chaos.KindInsert:
+		return b2u(s.h.RecoverInsert(op.Key))
+	case chaos.KindDelete:
+		return b2u(s.h.RecoverDelete(op.Key))
+	default:
+		return b2u(s.h.RecoverFind(op.Key))
+	}
+}
+
+// setView is what a set adapter needs to audit the final structure.
+type setView struct {
+	keys  func(*pmem.ThreadCtx) []int64
+	check func(*pmem.ThreadCtx) error
+}
+
+// setValidate builds the Validate function shared by all set adapters.
+func setValidate(view func(pool *pmem.Pool) (setView, error)) func(*pmem.Pool, *chaos.Result) error {
+	return func(pool *pmem.Pool, res *chaos.Result) error {
+		v, err := view(pool)
+		if err != nil {
+			return err
+		}
+		boot := pool.NewThread(0)
+		if err := v.check(boot); err != nil {
+			return err
+		}
+		if err := chaos.CheckSetAlternation(res.Logs, chaos.SetClassifier, v.keys(boot)); err != nil {
+			return err
+		}
+		if err := chaos.CheckSetLinearizable(res.Logs); err != nil {
+			return err
+		}
+		if len(res.Logs) == 1 {
+			return chaos.CheckSetSequential(res.Logs[0])
+		}
+		return nil
+	}
+}
+
+// uniqueValue encodes a value no two (thread, op-index) pairs share, small
+// enough for every structure's value space.
+func uniqueValue(tid, i int) int64 { return int64(tid)<<32 | int64(i+1) }
+
+func init() {
+	RegisterAdapter(&Adapter{
+		Name: "rlist", SitePrefix: "rlist", MinThreads: 1, DefaultSweep: true,
+		Setup: func(pool *pmem.Pool, maxThreads int) { rlist.New(pool, maxThreads, 0) },
+		Reattach: func(pool *pmem.Pool) (chaos.ThreadFactory, error) {
+			l, err := rlist.Attach(pool, 0)
+			if err != nil {
+				return nil, err
+			}
+			return func(tid int) (chaos.Thread, error) {
+				return setThread{h: l.Handle(pool.NewThread(tid))}, nil
+			}, nil
+		},
+		GenOp: chaos.SetGenOp(8), KeyedGen: chaos.SetGenOp,
+		Validate: setValidate(func(pool *pmem.Pool) (setView, error) {
+			l, err := rlist.Attach(pool, 0)
+			if err != nil {
+				return setView{}, err
+			}
+			return setView{
+				keys:  l.Keys,
+				check: func(c *pmem.ThreadCtx) error { return l.CheckInvariants(c, true) },
+			}, nil
+		}),
+		Scripted: map[string]func(pool *pmem.Pool, p *Provoker) error{
+			"rlist/pwb-info-backtrack": provokeListBacktrack,
+		},
+	})
+
+	RegisterAdapter(&Adapter{
+		Name: "rbst", SitePrefix: "rbst", MinThreads: 1, DefaultSweep: true,
+		Setup: func(pool *pmem.Pool, maxThreads int) { rbst.New(pool, maxThreads, 0) },
+		Reattach: func(pool *pmem.Pool) (chaos.ThreadFactory, error) {
+			tr, err := rbst.Attach(pool, 0)
+			if err != nil {
+				return nil, err
+			}
+			return func(tid int) (chaos.Thread, error) {
+				return setThread{h: tr.Handle(pool.NewThread(tid))}, nil
+			}, nil
+		},
+		GenOp: chaos.SetGenOp(8), KeyedGen: chaos.SetGenOp,
+		Validate: setValidate(func(pool *pmem.Pool) (setView, error) {
+			tr, err := rbst.Attach(pool, 0)
+			if err != nil {
+				return setView{}, err
+			}
+			return setView{
+				keys:  tr.Keys,
+				check: func(c *pmem.ThreadCtx) error { return tr.CheckInvariants(c, true) },
+			}, nil
+		}),
+		Scripted: map[string]func(pool *pmem.Pool, p *Provoker) error{
+			"rbst/pwb-info-backtrack": provokeBSTBacktrack,
+		},
+	})
+
+	RegisterAdapter(&Adapter{
+		Name: "rhash", SitePrefix: "rhash", MinThreads: 1, DefaultSweep: true,
+		Setup: func(pool *pmem.Pool, maxThreads int) { rhash.New(pool, 4, maxThreads, 0) },
+		Reattach: func(pool *pmem.Pool) (chaos.ThreadFactory, error) {
+			m, err := rhash.Attach(pool, 0)
+			if err != nil {
+				return nil, err
+			}
+			return func(tid int) (chaos.Thread, error) {
+				return setThread{h: m.Handle(pool.NewThread(tid))}, nil
+			}, nil
+		},
+		GenOp: chaos.SetGenOp(16), KeyedGen: chaos.SetGenOp,
+		Validate: setValidate(func(pool *pmem.Pool) (setView, error) {
+			m, err := rhash.Attach(pool, 0)
+			if err != nil {
+				return setView{}, err
+			}
+			return setView{
+				keys:  m.Keys,
+				check: func(c *pmem.ThreadCtx) error { return m.CheckInvariants(c, true) },
+			}, nil
+		}),
+		Scripted: map[string]func(pool *pmem.Pool, p *Provoker) error{
+			"rhash/pwb-info-backtrack": provokeHashBacktrack,
+		},
+	})
+
+	RegisterAdapter(&Adapter{
+		Name: "rqueue", SitePrefix: "rqueue", MinThreads: 1, DefaultSweep: true,
+		Setup: func(pool *pmem.Pool, maxThreads int) { rqueue.New(pool, maxThreads, 0) },
+		Reattach: func(pool *pmem.Pool) (chaos.ThreadFactory, error) {
+			q, err := rqueue.Attach(pool, 0)
+			if err != nil {
+				return nil, err
+			}
+			return func(tid int) (chaos.Thread, error) {
+				return queueThread{h: q.Handle(pool.NewThread(tid))}, nil
+			}, nil
+		},
+		GenOp: func(rng *rand.Rand, tid, i int) chaos.Op {
+			if rng.Intn(2) == 0 {
+				return chaos.Op{Kind: chaos.KindEnqueue, Key: uniqueValue(tid, i)}
+			}
+			return chaos.Op{Kind: chaos.KindDequeue}
+		},
+		Validate: func(pool *pmem.Pool, res *chaos.Result) error {
+			q, err := rqueue.Attach(pool, 0)
+			if err != nil {
+				return err
+			}
+			boot := pool.NewThread(0)
+			if err := q.CheckInvariants(boot, true); err != nil {
+				return err
+			}
+			if err := chaos.CheckQueueExactlyOnce(res.Logs, q.Drain(boot), rqueue.Empty); err != nil {
+				return err
+			}
+			if len(res.Logs) == 1 {
+				return chaos.CheckQueueSequential(res.Logs[0], rqueue.Empty)
+			}
+			return nil
+		},
+		Unreachable: map[string]string{
+			"rqueue/pwb-info-backtrack": "every rqueue operation's AffectSet has a single entry, so its tagging loop can never fail at index >= 1",
+		},
+	})
+
+	RegisterAdapter(&Adapter{
+		Name: "rstack", SitePrefix: "rstack", MinThreads: 1, DefaultSweep: true,
+		Setup: func(pool *pmem.Pool, maxThreads int) { rstack.New(pool, maxThreads, 0) },
+		Reattach: func(pool *pmem.Pool) (chaos.ThreadFactory, error) {
+			s, err := rstack.Attach(pool, 0)
+			if err != nil {
+				return nil, err
+			}
+			return func(tid int) (chaos.Thread, error) {
+				return stackThread{h: s.Handle(pool.NewThread(tid))}, nil
+			}, nil
+		},
+		GenOp: func(rng *rand.Rand, tid, i int) chaos.Op {
+			if rng.Intn(2) == 0 {
+				return chaos.Op{Kind: chaos.KindPush, Key: uniqueValue(tid, i)}
+			}
+			return chaos.Op{Kind: chaos.KindPop}
+		},
+		Validate: func(pool *pmem.Pool, res *chaos.Result) error {
+			s, err := rstack.Attach(pool, 0)
+			if err != nil {
+				return err
+			}
+			boot := pool.NewThread(0)
+			if err := s.CheckInvariants(boot, true); err != nil {
+				return err
+			}
+			if err := chaos.CheckStackExactlyOnce(res.Logs, s.Snapshot(boot), rstack.Empty); err != nil {
+				return err
+			}
+			if len(res.Logs) == 1 {
+				return chaos.CheckStackSequential(res.Logs[0], rstack.Empty)
+			}
+			return nil
+		},
+		Unreachable: map[string]string{
+			"rstack/pwb-info-backtrack": "every rstack operation's AffectSet has a single entry, so its tagging loop can never fail at index >= 1",
+		},
+	})
+
+	RegisterAdapter(&Adapter{
+		Name: "rexchanger", SitePrefix: "rexch", MinThreads: 2, DefaultSweep: true,
+		Setup: func(pool *pmem.Pool, maxThreads int) { rexchanger.New(pool, maxThreads, 0) },
+		Reattach: func(pool *pmem.Pool) (chaos.ThreadFactory, error) {
+			ex, err := rexchanger.Attach(pool, 0)
+			if err != nil {
+				return nil, err
+			}
+			return func(tid int) (chaos.Thread, error) {
+				return exchThread{h: ex.Handle(pool.NewThread(tid))}, nil
+			}, nil
+		},
+		GenOp: func(rng *rand.Rand, tid, i int) chaos.Op {
+			return chaos.Op{Kind: chaos.KindExchange, Key: uniqueValue(tid, i)}
+		},
+		Validate: func(pool *pmem.Pool, res *chaos.Result) error {
+			return chaos.CheckExchangerPairing(res.Logs, rexchanger.TimedOut)
+		},
+	})
+
+	for _, v := range []struct {
+		name, prefix string
+		variant      capsules.Variant
+	}{
+		{"capsules", "caps", capsules.VariantFull},
+		{"capsules-opt", "capsopt", capsules.VariantOpt},
+	} {
+		variant := v.variant
+		RegisterAdapter(&Adapter{
+			Name: v.name, SitePrefix: v.prefix, MinThreads: 1, DefaultSweep: false,
+			Setup: func(pool *pmem.Pool, maxThreads int) { capsules.New(pool, variant, maxThreads, 0) },
+			Reattach: func(pool *pmem.Pool) (chaos.ThreadFactory, error) {
+				l, err := capsules.Attach(pool, variant, 0)
+				if err != nil {
+					return nil, err
+				}
+				return func(tid int) (chaos.Thread, error) {
+					return setThread{h: l.Handle(pool.NewThread(tid))}, nil
+				}, nil
+			},
+			GenOp: chaos.SetGenOp(8), KeyedGen: chaos.SetGenOp,
+			Validate: setValidate(func(pool *pmem.Pool) (setView, error) {
+				l, err := capsules.Attach(pool, variant, 0)
+				if err != nil {
+					return setView{}, err
+				}
+				return setView{
+					keys:  l.Keys,
+					check: func(c *pmem.ThreadCtx) error { return l.CheckInvariants(c) },
+				}, nil
+			}),
+		})
+	}
+}
+
+// queueThread adapts an rqueue handle to the harness Thread interface: the
+// enqueue response is recorded as 1 (an acknowledgment), the dequeue
+// response is the dequeued value or rqueue.Empty.
+type queueThread struct{ h *rqueue.Handle }
+
+func (q queueThread) Invoke() { q.h.Invoke() }
+
+func (q queueThread) Run(op chaos.Op) uint64 {
+	if op.Kind == chaos.KindEnqueue {
+		q.h.Enqueue(uint64(op.Key))
+		return 1
+	}
+	v, _ := q.h.Dequeue()
+	return v
+}
+
+func (q queueThread) Recover(op chaos.Op) uint64 {
+	if op.Kind == chaos.KindEnqueue {
+		q.h.RecoverEnqueue(uint64(op.Key))
+		return 1
+	}
+	v, _ := q.h.RecoverDequeue()
+	return v
+}
+
+// stackThread adapts an rstack handle to the harness Thread interface,
+// mirroring queueThread.
+type stackThread struct{ h *rstack.Handle }
+
+func (s stackThread) Invoke() { s.h.Invoke() }
+
+func (s stackThread) Run(op chaos.Op) uint64 {
+	if op.Kind == chaos.KindPush {
+		s.h.Push(uint64(op.Key))
+		return 1
+	}
+	v, _ := s.h.Pop()
+	return v
+}
+
+func (s stackThread) Recover(op chaos.Op) uint64 {
+	if op.Kind == chaos.KindPush {
+		s.h.RecoverPush(uint64(op.Key))
+		return 1
+	}
+	v, _ := s.h.RecoverPop()
+	return v
+}
+
+// exchSpins is the slot/partner inspection budget of one exchange attempt
+// in the harness workload: enough for a scheduled partner to arrive, small
+// enough that an unmatched final operation resolves quickly.
+const exchSpins = 300
+
+// exchThread adapts an rexchanger handle to the harness Thread interface:
+// the response is the partner's value or rexchanger.TimedOut.
+type exchThread struct{ h *rexchanger.Handle }
+
+func (e exchThread) Invoke() { e.h.Invoke() }
+
+func (e exchThread) Run(op chaos.Op) uint64 {
+	v, _ := e.h.Exchange(uint64(op.Key), exchSpins)
+	return v
+}
+
+func (e exchThread) Recover(op chaos.Op) uint64 {
+	v, _ := e.h.RecoverExchange(uint64(op.Key), exchSpins)
+	return v
+}

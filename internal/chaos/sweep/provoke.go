@@ -1,0 +1,319 @@
+package sweep
+
+// This file reaches the pwb sites that no profiled workload can: the
+// tracking engine's backtrack path runs only when a thread's tagging CAS
+// fails at AffectSet index >= 1, i.e. after it already tagged a prefix and
+// then found a later entry tagged by a *different* descriptor. That needs
+// two operations frozen mid-flight at exact persist points, which random
+// scheduling on a small machine essentially never produces — so the sweep
+// scripts it deterministically with the crash machinery itself:
+//
+//  1. Act one: operation A (a two-entry-AffectSet update) is crashed at
+//     its RD persist — descriptor published and durable, nothing tagged.
+//  2. Act two: operation B, whose *first* AffectSet entry is A's *second*,
+//     is crashed at its first tagging persist — B's tag is durably in
+//     place on A's second node.
+//  3. Act three: A's recovery helps its own descriptor: it re-tags its
+//     first node, finds B's foreign tag on the second, and must backtrack
+//     — executing the pwb-info-backtrack site, where the sweep's target
+//     crash is armed.
+//
+// The final act is idempotent: recovery after the target crash replays it
+// (helping B's operation along the way), so the scenario converges to one
+// deterministic final state regardless of the adversary, which the
+// scenario validates exactly.
+
+import (
+	"fmt"
+
+	"repro/internal/pmem"
+	"repro/internal/rbst"
+	"repro/internal/rhash"
+	"repro/internal/rlist"
+)
+
+// Provoker drives one scripted crash scenario: staging crashes that freeze
+// operations at exact persist points (always committed in full, so the
+// staged state is durable), then the target crash at the task's site under
+// the task's adversary, chained to the task's depth.
+type Provoker struct {
+	pool    *pmem.Pool
+	site    string
+	hit     int64
+	depth   int
+	policy  func() pmem.CrashPolicy
+	fired   int
+	crashes int
+	err     error
+}
+
+// runParked runs f and reports whether it parked on an injected crash.
+func runParked(f func()) (parked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r != pmem.ErrCrashed {
+				panic(r)
+			}
+			parked = true
+		}
+	}()
+	f()
+	return false
+}
+
+// Stage arms a one-shot crash at the k-th executed PWB of the named site,
+// runs act — which must park on that crash — then commits every scheduled
+// write-back and dirty line and recovers the pool: act's operation is
+// frozen at that persist point with all its progress durable.
+func (p *Provoker) Stage(site string, k int64, act func() error) error {
+	if p.err != nil {
+		return p.err
+	}
+	p.pool.SetCrashAtSite(p.pool.RegisterSite(site), k)
+	var actErr error
+	if !runParked(func() { actErr = act() }) {
+		p.pool.SetCrashAtSite(pmem.NoSite, 0)
+		if actErr == nil {
+			actErr = fmt.Errorf("sweep: staging act never executed site %s", site)
+		}
+		p.err = actErr
+		return p.err
+	}
+	p.pool.Crash(pmem.CrashPolicy{CommitAll: true})
+	p.pool.Recover()
+	p.crashes++
+	return nil
+}
+
+// Target arms the task's target site at its hit index and runs act to
+// completion, crashing with the task's adversary each time the site fires
+// and re-running act after recovery, re-arming the first re-execution once
+// per extra depth level. act must be an idempotent recovery step that
+// reattaches its own handles.
+func (p *Provoker) Target(act func() error) error {
+	if p.err != nil {
+		return p.err
+	}
+	site := p.pool.RegisterSite(p.site)
+	arms := []int64{p.hit}
+	for d := 1; d < p.depth; d++ {
+		arms = append(arms, 1)
+	}
+	armed := 0
+	for round := 0; ; round++ {
+		if round > p.depth+1 {
+			p.err = fmt.Errorf("sweep: runaway provocation rounds at site %s", p.site)
+			return p.err
+		}
+		if armed < len(arms) {
+			p.pool.SetCrashAtSite(site, arms[armed])
+			armed++
+		}
+		var actErr error
+		if !runParked(func() { actErr = act() }) {
+			p.pool.SetCrashAtSite(pmem.NoSite, 0)
+			if actErr != nil {
+				p.err = actErr
+			}
+			return actErr
+		}
+		p.fired++
+		p.pool.Crash(p.policy())
+		p.pool.Recover()
+		p.crashes++
+	}
+}
+
+// expectKeys compares a set structure's final content with the scenario's
+// deterministic expectation.
+func expectKeys(got, want []int64) error {
+	ok := len(got) == len(want)
+	for i := 0; ok && i < len(want); i++ {
+		ok = got[i] == want[i]
+	}
+	if !ok {
+		return fmt.Errorf("sweep: final keys %v, want %v", got, want)
+	}
+	return nil
+}
+
+// provokeListBacktrack scripts the backtrack scenario on rlist. With keys
+// {10, 20, 30}: thread 1's Delete(20) has AffectSet {node10, node20};
+// thread 2's Insert(25) opens the window (node20, node30) and tags node20
+// first. Frozen in that order, thread 1's recovery tags node10, finds
+// thread 2's tag on node20 and backtracks.
+func provokeListBacktrack(pool *pmem.Pool, p *Provoker) error {
+	l, err := rlist.Attach(pool, 0)
+	if err != nil {
+		return err
+	}
+	boot := l.Handle(pool.NewThread(0))
+	for _, k := range []int64{10, 20, 30} {
+		boot.Invoke()
+		boot.Insert(k)
+	}
+	if err := p.Stage("rlist/pwb-RD", 2, func() error {
+		l, err := rlist.Attach(pool, 0)
+		if err != nil {
+			return err
+		}
+		l.Handle(pool.NewThread(1)).Delete(20)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := p.Stage("rlist/pwb-info-tag", 1, func() error {
+		l, err := rlist.Attach(pool, 0)
+		if err != nil {
+			return err
+		}
+		l.Handle(pool.NewThread(2)).Insert(25)
+		return nil
+	}); err != nil {
+		return err
+	}
+	var resA bool
+	if err := p.Target(func() error {
+		l, err := rlist.Attach(pool, 0)
+		if err != nil {
+			return err
+		}
+		resA = l.Handle(pool.NewThread(1)).RecoverDelete(20)
+		return nil
+	}); err != nil {
+		return err
+	}
+	l, err = rlist.Attach(pool, 0)
+	if err != nil {
+		return err
+	}
+	resB := l.Handle(pool.NewThread(2)).RecoverInsert(25)
+	if !resA || !resB {
+		return fmt.Errorf("sweep: delete=%v insert=%v, want both true", resA, resB)
+	}
+	ctx := pool.NewThread(0)
+	if err := l.CheckInvariants(ctx, true); err != nil {
+		return err
+	}
+	return expectKeys(l.Keys(ctx), []int64{10, 25, 30})
+}
+
+// provokeBSTBacktrack scripts the backtrack scenario on rbst. Inserting 10
+// then 20 builds root -> I1(Inf1) -> I2(20) -> {leaf10, leaf20}: thread
+// 1's Delete(10) has AffectSet {gp = I1, p = I2}; thread 2's Insert(15)
+// reaches leaf10 under the same parent and tags I2 first.
+func provokeBSTBacktrack(pool *pmem.Pool, p *Provoker) error {
+	tr, err := rbst.Attach(pool, 0)
+	if err != nil {
+		return err
+	}
+	boot := tr.Handle(pool.NewThread(0))
+	for _, k := range []int64{10, 20} {
+		boot.Invoke()
+		boot.Insert(k)
+	}
+	if err := p.Stage("rbst/pwb-RD", 2, func() error {
+		tr, err := rbst.Attach(pool, 0)
+		if err != nil {
+			return err
+		}
+		tr.Handle(pool.NewThread(1)).Delete(10)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := p.Stage("rbst/pwb-info-tag", 1, func() error {
+		tr, err := rbst.Attach(pool, 0)
+		if err != nil {
+			return err
+		}
+		tr.Handle(pool.NewThread(2)).Insert(15)
+		return nil
+	}); err != nil {
+		return err
+	}
+	var resA bool
+	if err := p.Target(func() error {
+		tr, err := rbst.Attach(pool, 0)
+		if err != nil {
+			return err
+		}
+		resA = tr.Handle(pool.NewThread(1)).RecoverDelete(10)
+		return nil
+	}); err != nil {
+		return err
+	}
+	tr, err = rbst.Attach(pool, 0)
+	if err != nil {
+		return err
+	}
+	resB := tr.Handle(pool.NewThread(2)).RecoverInsert(15)
+	if !resA || !resB {
+		return fmt.Errorf("sweep: delete=%v insert=%v, want both true", resA, resB)
+	}
+	ctx := pool.NewThread(0)
+	if err := tr.CheckInvariants(ctx, true); err != nil {
+		return err
+	}
+	return expectKeys(tr.Keys(ctx), []int64{15, 20})
+}
+
+// provokeHashBacktrack scripts the backtrack scenario on rhash. Keys 3, 5,
+// 6 and 8 all land in bucket 0 of the adapter's 4-bucket map, so the dance
+// is the rlist one inside that bucket: Delete(5) affects {node3, node5},
+// Insert(6) opens (node5, node8) and tags node5 first.
+func provokeHashBacktrack(pool *pmem.Pool, p *Provoker) error {
+	m, err := rhash.Attach(pool, 0)
+	if err != nil {
+		return err
+	}
+	boot := m.Handle(pool.NewThread(0))
+	for _, k := range []int64{3, 5, 8} {
+		boot.Invoke()
+		boot.Insert(k)
+	}
+	if err := p.Stage("rhash/pwb-RD", 2, func() error {
+		m, err := rhash.Attach(pool, 0)
+		if err != nil {
+			return err
+		}
+		m.Handle(pool.NewThread(1)).Delete(5)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := p.Stage("rhash/pwb-info-tag", 1, func() error {
+		m, err := rhash.Attach(pool, 0)
+		if err != nil {
+			return err
+		}
+		m.Handle(pool.NewThread(2)).Insert(6)
+		return nil
+	}); err != nil {
+		return err
+	}
+	var resA bool
+	if err := p.Target(func() error {
+		m, err := rhash.Attach(pool, 0)
+		if err != nil {
+			return err
+		}
+		resA = m.Handle(pool.NewThread(1)).RecoverDelete(5)
+		return nil
+	}); err != nil {
+		return err
+	}
+	m, err = rhash.Attach(pool, 0)
+	if err != nil {
+		return err
+	}
+	resB := m.Handle(pool.NewThread(2)).RecoverInsert(6)
+	if !resA || !resB {
+		return fmt.Errorf("sweep: delete=%v insert=%v, want both true", resA, resB)
+	}
+	ctx := pool.NewThread(0)
+	if err := m.CheckInvariants(ctx, true); err != nil {
+		return err
+	}
+	return expectKeys(m.Keys(ctx), []int64{3, 6, 8})
+}

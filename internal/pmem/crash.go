@@ -18,6 +18,13 @@ type CrashPolicy struct {
 	// EvictProb is the probability that each dirty line was written back
 	// by eviction (with its content at crash time).
 	EvictProb float64
+	// CommitAll selects the opposite deterministic extreme from a nil Rng:
+	// every scheduled write-back of every thread completed and every dirty
+	// line was evicted with its content at crash time, so the durable view
+	// equals the volatile view at the instant of the crash. Recovery code
+	// that wrongly assumes some write was NOT yet durable fails under this
+	// adversary. When set, Rng and the probabilities are ignored.
+	CommitAll bool
 }
 
 // Crash resolves a triggered crash: volatile state is discarded and the
@@ -40,6 +47,13 @@ func (p *Pool) Crash(pol CrashPolicy) {
 	ctxs := append([]*ThreadCtx(nil), p.ctxs...)
 	p.mu.Unlock()
 
+	if pol.CommitAll {
+		for _, ctx := range ctxs {
+			ctx.commitPending()
+		}
+		p.evictAll()
+		return
+	}
 	// Evictions happen first: under TSO with ordered flushes, a store can
 	// only reach the cache (and thus be evicted to NVMM) after the write-
 	// backs its thread fenced before it have completed, so evicting a line
@@ -86,6 +100,20 @@ func (p *Pool) crashThread(ctx *ThreadCtx, pol CrashPolicy) {
 				p.commitLine(&epochs[cut][i])
 			}
 		}
+	}
+}
+
+// evictAll writes back every dirty line with its content at crash time
+// (the CommitAll adversary: nothing in flight was lost).
+func (p *Pool) evictAll() {
+	limit := (p.AllocatedWords() + LineWords - 1) / LineWords
+	for line := 0; line < limit && line < len(p.dirty); line++ {
+		if atomic.LoadUint32(&p.dirty[line]) == 0 {
+			continue
+		}
+		e := wbEntry{line: line}
+		p.snapLine(&e)
+		p.commitLine(&e)
 	}
 }
 
@@ -143,5 +171,11 @@ func (p *Pool) Recover() {
 	if p.crashAfter.Load() <= 0 {
 		p.clearCrashCtl(ctlCounting)
 		p.crashAfter.Store(0)
+	}
+	// Same for a site-targeted trigger: a fired (or externally resolved)
+	// arm is consumed; a still-positive one keeps waiting for its hit.
+	if p.siteArmHits.Load() <= 0 {
+		p.clearCrashCtl(ctlSiteArm)
+		p.siteArm.Store(0)
 	}
 }

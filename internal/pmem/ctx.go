@@ -170,6 +170,9 @@ func (ctx *ThreadCtx) StoreDurable(s Site, a Addr, v uint64) {
 	}
 	if ctx.siteOn(s) {
 		ctx.countPWB(s)
+		if p.ctlFast()&ctlSiteArm != 0 {
+			ctx.siteHit(s)
+		}
 	}
 }
 
@@ -236,6 +239,9 @@ func (ctx *ThreadCtx) PWB(s Site, a Addr) {
 	} else {
 		ctx.chargePWB(line)
 	}
+	if p.ctlFast()&ctlSiteArm != 0 {
+		ctx.siteHit(s)
+	}
 }
 
 // PWBRange issues the PWBs needed to write back words [a, a+words*8), one
@@ -257,6 +263,9 @@ func (ctx *ThreadCtx) PWBRange(s Site, a Addr, words int) {
 			ctx.captureLine(line)
 		} else {
 			ctx.chargePWB(line)
+		}
+		if p.ctlFast()&ctlSiteArm != 0 {
+			ctx.siteHit(s)
 		}
 	}
 }

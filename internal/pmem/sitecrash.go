@@ -1,0 +1,76 @@
+package pmem
+
+import "sync/atomic"
+
+// This file implements deterministic, site-targeted crash injection: where
+// SetCrashAfter samples the crash-state space at an arbitrary pool access,
+// SetCrashAtSite lands the crash exactly on a chosen persist point — the
+// k-th executed PWB of one registered pwb code line. The crash-site sweep
+// in internal/chaos uses it to enumerate every (site, hit) pair of a
+// workload instead of hoping a random countdown strikes the interesting
+// points; NVTraverse-style experience says recovery bugs cluster exactly
+// at specific persist points.
+//
+// The trigger fires *after* the targeted write-back has been scheduled (in
+// ModeStrict: captured into the thread's pending queue), so the crash
+// adversary still decides whether that write-back completed. Crashing
+// "just before" site s's k-th PWB is the same durable state as crashing
+// after it with the write-back dropped, which the worst-case adversary
+// (CrashPolicy zero value) covers; the sweep therefore spans both sides of
+// every persist point with one trigger and two adversary choices.
+
+// SetCrashAtSite arms a crash trigger that fires immediately after the
+// k-th executed PWB of site s following this call, counted pool-wide
+// across all threads (k >= 1). The PWB itself takes effect — its write-back is scheduled —
+// and then the issuing thread panics with ErrCrashed and every other
+// thread's next pool access does the same, exactly as with TriggerCrash.
+// Disabled sites never execute PWBs, so they never fire the trigger.
+// k <= 0 (or a negative site) disarms. Arming replaces any previous arm.
+//
+// With a single simulated thread the trigger is fully deterministic: the
+// same program reaches the same k-th hit with the same pool state. With
+// several threads the (site, hit) crash point is still exact, while the
+// surrounding interleaving varies run to run.
+func (p *Pool) SetCrashAtSite(s Site, k int64) {
+	if s < 0 || k <= 0 {
+		p.siteArm.Store(0)
+		p.siteArmHits.Store(0)
+		p.clearCrashCtl(ctlSiteArm)
+		return
+	}
+	p.siteArm.Store(int64(s) + 1)
+	p.siteArmHits.Store(k)
+	p.setCrashCtl(ctlSiteArm)
+}
+
+// CrashSiteArmed reports the currently armed site trigger: the target site
+// and the number of executed PWBs of it still to go. armed is false when
+// no site trigger is pending (never armed, disarmed, or already fired).
+func (p *Pool) CrashSiteArmed() (s Site, remaining int64, armed bool) {
+	if atomic.LoadUint32(&p.crashCtl)&ctlSiteArm == 0 {
+		return NoSite, 0, false
+	}
+	packed := p.siteArm.Load()
+	if packed == 0 {
+		return NoSite, 0, false
+	}
+	return Site(packed - 1), p.siteArmHits.Load(), true
+}
+
+// siteHit is called after an executed (enabled, counted) PWB of site s
+// while ctlSiteArm is set. Exactly one hit observes the countdown reach
+// zero and becomes the crash point; later hits drive it negative, which
+// never re-fires.
+//
+//go:noinline
+func (ctx *ThreadCtx) siteHit(s Site) {
+	p := ctx.pool
+	if s < 0 || p.siteArm.Load() != int64(s)+1 {
+		return
+	}
+	if p.siteArmHits.Add(-1) == 0 {
+		p.setCrashCtl(ctlCrashed)
+		p.clearCrashCtl(ctlSiteArm)
+		panic(ErrCrashed)
+	}
+}

@@ -1,0 +1,207 @@
+package pmem
+
+import (
+	"testing"
+)
+
+// catchCrash runs f and reports whether it panicked with ErrCrashed.
+func catchCrash(f func()) (crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r != ErrCrashed {
+				panic(r)
+			}
+			crashed = true
+		}
+	}()
+	f()
+	return false
+}
+
+func TestSetCrashAtSiteFiresAtExactHit(t *testing.T) {
+	p := New(Config{Mode: ModeStrict, CapacityWords: 1 << 12, MaxThreads: 1})
+	s := p.RegisterSite("sc/a")
+	other := p.RegisterSite("sc/b")
+	ctx := p.NewThread(0)
+	a := ctx.AllocWords(1)
+
+	p.SetCrashAtSite(s, 3)
+	for i := 1; i <= 2; i++ {
+		ctx.Store(a, uint64(i))
+		if catchCrash(func() { ctx.PWB(s, a) }) {
+			t.Fatalf("crash fired at hit %d, armed for 3", i)
+		}
+		// Hits of other sites must not advance the countdown.
+		if catchCrash(func() { ctx.PWB(other, a) }) {
+			t.Fatal("crash fired on a different site")
+		}
+	}
+	if _, rem, armed := p.CrashSiteArmed(); !armed || rem != 1 {
+		t.Fatalf("armed=%v remaining=%d, want armed with 1 left", armed, rem)
+	}
+	ctx.Store(a, 3)
+	if !catchCrash(func() { ctx.PWB(s, a) }) {
+		t.Fatal("crash did not fire at the 3rd hit")
+	}
+	if !p.CrashPending() {
+		t.Fatal("crash not pending after the trigger fired")
+	}
+	if _, _, armed := p.CrashSiteArmed(); armed {
+		t.Fatal("trigger still armed after firing")
+	}
+
+	// The targeted write-back was scheduled before the crash: with a
+	// commit-everything adversary the third store is durable.
+	p.Crash(CrashPolicy{CommitAll: true})
+	p.Recover()
+	ctx2 := p.NewThread(0)
+	if got := ctx2.Load(a); got != 3 {
+		t.Fatalf("after CommitAll recovery Load = %d, want 3", got)
+	}
+}
+
+func TestSetCrashAtSiteWorstCaseDropsTargetedWriteback(t *testing.T) {
+	p := New(Config{Mode: ModeStrict, CapacityWords: 1 << 12, MaxThreads: 1})
+	s := p.RegisterSite("sc/w")
+	ctx := p.NewThread(0)
+	a := ctx.AllocWords(1)
+
+	ctx.Store(a, 7)
+	ctx.PWB(s, a)
+	ctx.PSync() // durable: 7
+
+	p.SetCrashAtSite(s, 1) // fire at the next hit of s
+	ctx.Store(a, 8)
+	if !catchCrash(func() { ctx.PWB(s, a) }) {
+		t.Fatal("crash did not fire")
+	}
+	p.Crash(CrashPolicy{}) // worst case: the un-synced write-back is lost
+	p.Recover()
+	if got := p.NewThread(0).Load(a); got != 7 {
+		t.Fatalf("worst-case recovery Load = %d, want 7", got)
+	}
+}
+
+func TestSetCrashAtSiteDisarm(t *testing.T) {
+	p := New(Config{Mode: ModeStrict, CapacityWords: 1 << 12, MaxThreads: 1})
+	s := p.RegisterSite("sc/d")
+	ctx := p.NewThread(0)
+	a := ctx.AllocWords(1)
+
+	p.SetCrashAtSite(s, 1)
+	p.SetCrashAtSite(NoSite, 0)
+	if _, _, armed := p.CrashSiteArmed(); armed {
+		t.Fatal("still armed after disarm")
+	}
+	ctx.Store(a, 1)
+	if catchCrash(func() { ctx.PWB(s, a) }) {
+		t.Fatal("disarmed trigger fired")
+	}
+}
+
+func TestSetCrashAtSiteBeyondHitsNeverFires(t *testing.T) {
+	p := New(Config{Mode: ModeStrict, CapacityWords: 1 << 12, MaxThreads: 1})
+	s := p.RegisterSite("sc/n")
+	ctx := p.NewThread(0)
+	a := ctx.AllocWords(1)
+
+	p.SetCrashAtSite(s, 100)
+	for i := 0; i < 5; i++ {
+		ctx.Store(a, uint64(i))
+		if catchCrash(func() { ctx.PWB(s, a) }) {
+			t.Fatal("fired early")
+		}
+	}
+	ctx.PSync()
+	if _, rem, armed := p.CrashSiteArmed(); !armed || rem != 95 {
+		t.Fatalf("armed=%v remaining=%d, want armed with 95", armed, rem)
+	}
+}
+
+func TestSetCrashAtSiteDisabledSiteNeverFires(t *testing.T) {
+	p := New(Config{Mode: ModeStrict, CapacityWords: 1 << 12, MaxThreads: 1})
+	s := p.RegisterSite("sc/off")
+	p.SetSiteEnabled(s, false)
+	ctx := p.NewThread(0)
+	a := ctx.AllocWords(1)
+
+	p.SetCrashAtSite(s, 1)
+	ctx.Store(a, 1)
+	if catchCrash(func() { ctx.PWB(s, a) }) {
+		t.Fatal("disabled site's PWB fired the trigger")
+	}
+}
+
+func TestSetCrashAtSiteStoreDurableAndRange(t *testing.T) {
+	p := New(Config{Mode: ModeStrict, CapacityWords: 1 << 12, MaxThreads: 1})
+	s := p.RegisterSite("sc/sd")
+	ctx := p.NewThread(0)
+	a := ctx.AllocLines(3)
+
+	// PWBRange counts one hit per covered line.
+	p.SetCrashAtSite(s, 3)
+	if !catchCrash(func() { ctx.PWBRange(s, a, 3*LineWords) }) {
+		t.Fatal("range trigger did not fire at the 3rd covered line")
+	}
+	p.Crash(CrashPolicy{})
+	p.Recover()
+
+	// StoreDurable hits count too.
+	ctx2 := p.NewThread(0)
+	p.SetCrashAtSite(s, 1)
+	if !catchCrash(func() { ctx2.StoreDurable(s, a, 9) }) {
+		t.Fatal("StoreDurable did not fire the trigger")
+	}
+	p.Crash(CrashPolicy{})
+	p.Recover()
+	// StoreDurable is failure-atomic: the value is durable even though the
+	// crash struck immediately after it.
+	if got := p.NewThread(0).Load(a); got != 9 {
+		t.Fatalf("Load = %d, want 9 (StoreDurable is failure-atomic)", got)
+	}
+}
+
+func TestRecoverKeepsUnfiredSiteArm(t *testing.T) {
+	p := New(Config{Mode: ModeStrict, CapacityWords: 1 << 12, MaxThreads: 1})
+	s := p.RegisterSite("sc/keep")
+	ctx := p.NewThread(0)
+	a := ctx.AllocWords(1)
+
+	p.SetCrashAtSite(s, 2)
+	ctx.Store(a, 1)
+	ctx.PWB(s, a) // hit 1 of 2
+	p.TriggerCrash()
+	p.Crash(CrashPolicy{})
+	p.Recover()
+	// The arm survived the unrelated crash with one hit to go.
+	if _, rem, armed := p.CrashSiteArmed(); !armed || rem != 1 {
+		t.Fatalf("armed=%v remaining=%d, want armed with 1 left", armed, rem)
+	}
+	ctx2 := p.NewThread(0)
+	ctx2.Store(a, 2)
+	if !catchCrash(func() { ctx2.PWB(s, a) }) {
+		t.Fatal("carried-over arm did not fire")
+	}
+	p.Crash(CrashPolicy{})
+	p.Recover()
+}
+
+func TestCommitAllMakesDurableEqualVolatile(t *testing.T) {
+	p := New(Config{Mode: ModeStrict, CapacityWords: 1 << 12, MaxThreads: 2})
+	s := p.RegisterSite("sc/ca")
+	ctx := p.NewThread(0)
+	a := ctx.AllocWords(1)
+	b := ctx.AllocWords(1)
+
+	ctx.Store(a, 1)
+	ctx.PWB(s, a)   // scheduled, never synced
+	ctx.Store(b, 2) // dirty, never flushed
+
+	p.TriggerCrash()
+	p.Crash(CrashPolicy{CommitAll: true})
+	p.Recover()
+	ctx2 := p.NewThread(0)
+	if ctx2.Load(a) != 1 || ctx2.Load(b) != 2 {
+		t.Fatalf("CommitAll lost state: a=%d b=%d, want 1 2", ctx2.Load(a), ctx2.Load(b))
+	}
+}
