@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench-pmem ci
+.PHONY: all build test race bench-pmem sweep docs-lint ci
 
 all: build
 
@@ -20,8 +20,20 @@ bench-pmem:
 	$(GO) run ./cmd/benchrunner -substrate -threads 1,2,4,8,16 -out BENCH_pmem.json
 	@cat BENCH_pmem.json
 
+# sweep runs the deterministic crash-site sweep over every recoverable
+# structure and records the coverage matrix (see docs/crash-model.md).
+sweep:
+	$(GO) run ./cmd/crashtest -sweep -structure all -depth 2 -seed 1 -report crash_coverage.json
+
+# docs-lint enforces the godoc policy (every exported symbol documented)
+# on the packages the harnesses build on; see cmd/docslint.
+docs-lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/docslint
+
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(MAKE) docs-lint
 	$(MAKE) bench-pmem

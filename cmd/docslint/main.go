@@ -1,0 +1,169 @@
+// Command docslint enforces the repository's godoc policy on the packages
+// whose APIs the tests and tools build on: every exported top-level symbol
+// — type, function, method, constant and variable — must carry a doc
+// comment, and every package must have a package comment. It is a
+// dependency-free stand-in for revive's "exported" rule (the repository is
+// stdlib-only), run by `make docs-lint` and CI.
+//
+//	docslint [package-dir ...]
+//
+// With no arguments it checks the default policy set: internal/chaos (and
+// its sweep subpackage), internal/histcheck, internal/tracking and
+// internal/pmem. Exit status 1 lists every undocumented symbol as
+// file:line: name.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// defaultDirs is the policy set checked when no arguments are given.
+var defaultDirs = []string{
+	"internal/chaos",
+	"internal/chaos/sweep",
+	"internal/histcheck",
+	"internal/tracking",
+	"internal/pmem",
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: docslint [package-dir ...]\nchecks %v when no dirs are given\n",
+			defaultDirs)
+	}
+	flag.Parse()
+	dirs := flag.Args()
+	if len(dirs) == 0 {
+		dirs = defaultDirs
+	}
+	bad := 0
+	for _, dir := range dirs {
+		problems, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		bad += len(problems)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "docslint: %d undocumented exported symbols\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintDir parses one package directory (test files excluded) and returns
+// one "file:line: message" per policy violation, sorted by position.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: %s",
+			filepath.ToSlash(p.Filename), p.Line, fmt.Sprintf(format, args...)))
+	}
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+			for _, decl := range f.Decls {
+				lintDecl(decl, report)
+			}
+		}
+		if !hasPkgDoc {
+			problems = append(problems,
+				fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// lintDecl reports exported top-level symbols without a doc comment. For
+// grouped const/var/type declarations a comment on the group covers every
+// spec in it, matching the convention godoc renders.
+func lintDecl(decl ast.Decl, report func(token.Pos, string, ...any)) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || exportedRecv(d) == "" {
+			return
+		}
+		if d.Doc == nil {
+			report(d.Pos(), "exported %s %s has no doc comment", funcKind(d), funcName(d))
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+					report(s.Pos(), "exported type %s has no doc comment", s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				if d.Doc != nil || s.Doc != nil {
+					continue
+				}
+				for _, name := range s.Names {
+					if name.IsExported() {
+						report(name.Pos(), "exported %s %s has no doc comment",
+							strings.ToLower(d.Tok.String()), name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedRecv returns a non-empty description for functions the policy
+// covers: top-level functions and methods on exported receivers. Methods on
+// unexported types are internal API and exempt, as in revive.
+func exportedRecv(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return "func"
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if ident, ok := t.(*ast.Ident); ok {
+		if !ident.IsExported() {
+			return ""
+		}
+		return ident.Name
+	}
+	return "func"
+}
+
+// funcKind labels a declaration "function" or "method" for messages.
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// funcName renders Name or Recv.Name for messages.
+func funcName(d *ast.FuncDecl) string {
+	if r := exportedRecv(d); d.Recv != nil {
+		return r + "." + d.Name.Name
+	}
+	return d.Name.Name
+}

@@ -74,4 +74,9 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("structural invariants hold")
+
+	// Next step: examples/crash-recovery crashes at one exact persist
+	// point via the crash-site trigger (docs/crash-model.md) instead of a
+	// random access count.
+	fmt.Println("\nsee also: go run ./examples/crash-recovery")
 }

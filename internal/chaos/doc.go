@@ -1,0 +1,38 @@
+// Package chaos is the crash-injection test harness for the recoverable
+// data structures in this repository. It implements the system model of
+// Attiya et al. (PPoPP 2022), Section 2:
+//
+//   - threads run operations concurrently on a strict-mode pmem pool;
+//   - at a random persistent-memory access a system-wide crash strikes:
+//     every thread is interrupted (it panics with pmem.ErrCrashed at its
+//     next pool access and parks), volatile state is discarded, and the
+//     adversary decides which scheduled-but-unsynced write-backs and dirty
+//     cache lines reached NVMM;
+//   - the system then resurrects the threads and calls each interrupted
+//     operation's recovery function with its original arguments — unless
+//     the crash preceded the operation's failure-atomic invocation step,
+//     in which case the operation never started and is invoked normally;
+//   - a thread may crash again while recovering ("multiple crashes while
+//     executing Op and/or Op.Recover").
+//
+// Every operation therefore resolves to exactly one response. The harness
+// records all responses; CheckSetAlternation then validates detectable
+// exactly-once execution for set semantics: for each key, successful
+// inserts and deletes must alternate, and the net count must match the
+// key's presence in the final structure.
+//
+// # API tour
+//
+// NewSchedule builds a deterministic per-thread operation schedule;
+// Schedule.Resume runs (or, after a crash, re-runs) it with handles from a
+// Reattach factory, and Schedule.Logs yields the full OpRecord history.
+// Run wraps the whole protocol — workload, randomized crashes, recovery —
+// and returns a Result. The oracles (CheckSetAlternation,
+// CheckSetLinearizable, CheckQueueExactlyOnce, CheckStackExactlyOnce,
+// CheckExchangerPairing, and the sequential-run variants) audit a Result's
+// history for exactly-once semantics.
+//
+// The sweep subpackage replaces the randomized crash points with a
+// deterministic enumeration of every registered pwb site; see
+// docs/crash-model.md for the crash-state space it walks.
+package chaos

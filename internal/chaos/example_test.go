@@ -1,0 +1,40 @@
+package chaos_test
+
+import (
+	"fmt"
+
+	"repro/internal/chaos"
+	"repro/internal/chaos/sweep"
+	"repro/internal/pmem"
+)
+
+// Example runs the full crash-injection protocol on the recoverable list:
+// a deterministic concurrent workload, randomized system-wide crashes,
+// per-thread recovery, and the exactly-once audit of every response.
+func Example() {
+	adapter, _ := sweep.AdapterByName("rlist")
+	pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 20, MaxThreads: 4})
+	adapter.Setup(pool, 4)
+
+	res, err := chaos.Run(chaos.Config{
+		Pool:                       pool,
+		Threads:                    2,
+		OpsPerThread:               25,
+		GenOp:                      adapter.GenOp,
+		Reattach:                   adapter.Reattach,
+		Seed:                       3,
+		MaxCrashes:                 3,
+		MeanAccessesBetweenCrashes: 400,
+		CommitProb:                 0.5,
+		EvictProb:                  0.1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("violations:", adapter.Validate(pool, res))
+	fmt.Println("crashed at least once:", res.Crashes > 0)
+	// Output:
+	// violations: <nil>
+	// crashed at least once: true
+}

@@ -1,0 +1,18 @@
+// Package histcheck is a linearizability checker for concurrent set
+// histories, in the style of Wing & Gong's exhaustive search with Lowe's
+// state-memoization. It is used by the test suites to validate small
+// concurrent (non-crash) executions of the recoverable sets against the
+// sequential set specification, complementing the per-key alternation
+// oracle of the chaos harness.
+//
+// Histories are bounded: at most 64 operations and 64 distinct keys per
+// check, which lets both the pending-operation set and the abstract set
+// state live in single machine words for memoization.
+//
+// # API tour
+//
+// Build a history as a slice of Op values (Kind, Key, Result and the
+// Invoke/Return stamps that define the real-time partial order) and pass
+// it to CheckSet, which returns nil iff some linearization of the history
+// matches the sequential set specification.
+package histcheck

@@ -1,13 +1,3 @@
-// Package histcheck is a linearizability checker for concurrent set
-// histories, in the style of Wing & Gong's exhaustive search with Lowe's
-// state-memoization. It is used by the test suites to validate small
-// concurrent (non-crash) executions of the recoverable sets against the
-// sequential set specification, complementing the per-key alternation
-// oracle of the chaos harness.
-//
-// Histories are bounded: at most 64 operations and 64 distinct keys per
-// check, which lets both the pending-operation set and the abstract set
-// state live in single machine words for memoization.
 package histcheck
 
 import (
@@ -26,6 +16,7 @@ const (
 	Find
 )
 
+// String names the kind for error messages and test output.
 func (k Kind) String() string {
 	switch k {
 	case Insert:

@@ -29,3 +29,40 @@ func Example() {
 	fmt.Println(ctx2.Load(a), ctx2.Load(b))
 	// Output: 1 0
 }
+
+// ExamplePool_SetCrashAtSite arms a deterministic crash at the second
+// executed PWB of one registered code line — the trigger the crash-site
+// sweep (internal/chaos/sweep) enumerates over every site of a structure.
+func ExamplePool_SetCrashAtSite() {
+	pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 12, MaxThreads: 1})
+	ctx := pool.NewThread(0)
+	site := pool.RegisterSite("example/pwb-x")
+	x := ctx.AllocWords(1)
+
+	pool.SetCrashAtSite(site, 2) // fire at this site's 2nd executed PWB
+	crashed := func() (c bool) {
+		defer func() {
+			if r := recover(); r == pmem.ErrCrashed {
+				c = true
+			} else if r != nil {
+				panic(r)
+			}
+		}()
+		for i := uint64(1); i <= 5; i++ {
+			ctx.Store(x, i)
+			ctx.PWB(site, x)
+			ctx.PSync()
+		}
+		return false
+	}()
+	fmt.Println("crashed:", crashed)
+
+	// The write-back of the fatal PWB was already scheduled, so a
+	// commit-all adversary makes the second store durable.
+	pool.Crash(pmem.CrashPolicy{CommitAll: true})
+	pool.Recover()
+	fmt.Println("x at crash:", pool.NewThread(0).Load(x))
+	// Output:
+	// crashed: true
+	// x at crash: 2
+}

@@ -1,0 +1,46 @@
+package tracking_test
+
+import (
+	"fmt"
+
+	"repro/internal/pmem"
+	"repro/internal/tracking"
+)
+
+// Example builds the smallest possible detectably recoverable operation —
+// "CAS one shared word from 0 to 7" — straight on the Tracking engine,
+// crashes after the descriptor is published but before it took effect, and
+// lets the recovery function finish the operation and report its response.
+func Example() {
+	pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 12, MaxThreads: 2})
+	eng := tracking.New(pool, 2, "ex")
+	ctx := pool.NewThread(1)
+	th := eng.Thread(ctx)
+
+	// One shared node: an info field for tagging plus a value field.
+	info := ctx.AllocWords(1)
+	value := ctx.AllocWords(1)
+
+	// The operation, up to the point where it becomes recoverable.
+	th.Invoke()
+	th.BeginOp()
+	d := th.NewDesc(1, 1, // opType, pending result on success
+		[]tracking.AffectEntry{{InfoField: info, Observed: ctx.Load(info), Untag: true}},
+		[]tracking.WriteEntry{{Field: value, Old: 0, New: 7}},
+		nil)
+	th.Publish(d)
+
+	// Crash before Help ran: the write is not applied, but descriptor, CP
+	// and RD are durable, so the operation is recoverable.
+	pool.TriggerCrash()
+	pool.Crash(pmem.CrashPolicy{}) // worst-case: drop everything unsynced
+	pool.Recover()
+
+	eng = tracking.Attach(pool, eng.TableAddr(), 2, "ex")
+	ctx = pool.NewThread(1)
+	th = eng.Thread(ctx)
+	_, result, ok := th.Recover() // runs Help to completion
+
+	fmt.Println("recovered:", ok, "result:", result, "value:", ctx.Load(value))
+	// Output: recovered: true result: 1 value: 7
+}

@@ -1,30 +1,3 @@
-// Package tracking implements the Tracking approach of Attiya et al.,
-// "Detectable Recovery of Lock-Free Data Structures" (PPoPP 2022),
-// Algorithms 1 and 2 — the paper's primary contribution.
-//
-// Tracking derives detectably recoverable data structures from lock-free
-// implementations that use descriptor-based helping. Each operation Op has
-// an operation descriptor recording everything needed to complete it:
-//
-//   - AffectSet: the nodes Op tags (soft-locks) in order, as pairs of an
-//     info-field address and the info value observed during the gather
-//     phase;
-//   - WriteSet: the fields Op changes, each with the old and new value so
-//     the change is applied with CAS exactly once;
-//   - NewSet: the info fields of nodes Op freshly allocated (pre-tagged
-//     with Op's descriptor);
-//   - result: initially Bottom, set exactly once when Op takes effect.
-//
-// The generic Help procedure (Algorithm 2) drives an operation through its
-// tagging, update and cleanup phases and is idempotent, so any thread —
-// including the recovery function after a crash — can (re-)run it.
-//
-// Detectability comes from two thread-private persistent words per thread:
-// CP (a check-point flag) and RD (a pointer to the descriptor of the
-// thread's current operation). They are persisted, with the descriptor and
-// any freshly allocated nodes, *before* Help first runs, so after a crash
-// the recovery function can locate the descriptor, finish the operation via
-// Help, and read its response from the result field.
 package tracking
 
 import (
