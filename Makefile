@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench-pmem sweep docs-lint ci
+.PHONY: all build test race bench-pmem sweep docs-lint telemetry-smoke ci
 
 all: build
 
@@ -31,9 +31,18 @@ docs-lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/docslint
 
+# telemetry-smoke runs a short instrumented figure sweep and validates the
+# emitted snapshot against the repro-telemetry/1 schema (see
+# internal/telemetry and cmd/telemetryvet).
+telemetry-smoke:
+	$(GO) run ./cmd/benchrunner -experiment fig3b -threads 1,2 -duration 100ms \
+		-telemetry telemetry.json -progress 0
+	$(GO) run ./cmd/telemetryvet telemetry.json
+
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(MAKE) docs-lint
 	$(MAKE) bench-pmem
+	$(MAKE) telemetry-smoke

@@ -28,11 +28,11 @@ func runPanel(b *testing.B, cfg bench.Config) {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
-	r.RunOps(b.N)
+	executed := r.RunOps(b.N)
 	b.StopTimer()
 	st := r.Stats()
-	b.ReportMetric(float64(st.PWBs)/float64(b.N), "pwbs/op")
-	b.ReportMetric(float64(st.PSyncs+st.PFences)/float64(b.N), "psyncs/op")
+	b.ReportMetric(float64(st.PWBs)/float64(executed), "pwbs/op")
+	b.ReportMetric(float64(st.PSyncs+st.PFences)/float64(executed), "psyncs/op")
 }
 
 // Figures 3a / 4a: throughput of every evaluated implementation.
@@ -188,7 +188,7 @@ func runCategorized(b *testing.B, algo bench.Algo, w bench.Workload) {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
-	r.RunOps(b.N)
+	executed := r.RunOps(b.N)
 	b.StopTimer()
 	st := r.Stats()
 	for _, cat := range []bench.Category{bench.Low, bench.Medium, bench.High} {
@@ -196,7 +196,7 @@ func runCategorized(b *testing.B, algo bench.Algo, w bench.Workload) {
 		for _, l := range labelsOf(impacts, cat) {
 			n += st.PWBsBySite[l]
 		}
-		b.ReportMetric(float64(n)/float64(b.N), cat.String()+"pwbs/op")
+		b.ReportMetric(float64(n)/float64(executed), cat.String()+"pwbs/op")
 	}
 }
 

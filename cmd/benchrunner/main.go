@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -25,6 +26,8 @@ func main() {
 		substrate  = flag.Bool("substrate", false, "measure the pmem substrate microbenchmarks instead of a figure")
 		subOps     = flag.Int("substrate-ops", 0, "operations per substrate data point (0: default)")
 		out        = flag.String("out", "", "write substrate JSON to this file instead of stdout")
+		teleOut    = flag.String("telemetry", "", "observe the figure runs and write a telemetry snapshot (JSON) to this file")
+		progress   = flag.Duration("progress", 2*time.Second, "telemetry progress-line interval (0 disables; needs -telemetry)")
 	)
 	flag.Parse()
 
@@ -70,6 +73,19 @@ func main() {
 	}
 	opts := bench.Options{Threads: ths, Duration: *duration, Seed: *seed}
 
+	var reg *telemetry.Registry
+	if *teleOut != "" {
+		reg = telemetry.NewRegistry(telemetry.Config{RingSize: 1024})
+		opts.Telemetry = reg
+		if err := reg.PublishExpvar("bench_telemetry"); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		if *progress > 0 {
+			stopProgress := progressLoop(reg, *progress)
+			defer stopProgress()
+		}
+	}
+
 	ids := []string{*experiment}
 	if *experiment == "all" {
 		ids = bench.FigureIDs()
@@ -88,5 +104,52 @@ func main() {
 			}
 		}
 		fmt.Println()
+	}
+
+	if reg != nil {
+		data, err := reg.Snapshot().MarshalIndentJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := telemetry.ValidateSnapshotJSON(data); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*teleOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: wrote %s\n", *teleOut)
+	}
+}
+
+// progressLoop prints a live counter line to stderr every interval until
+// the returned stop function is called.
+func progressLoop(reg *telemetry.Registry, interval time.Duration) func() {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		start := time.Now()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				t := reg.Totals()
+				fmt.Fprintf(os.Stderr,
+					"telemetry: t=%s ops=%d pwbs=%d psyncs=%d pfences=%d stall_units=%d events=%d\n",
+					time.Since(start).Round(time.Second), t.Ops, t.PWBs, t.PSyncs, t.PFences,
+					t.StallUnits, t.Events)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
 	}
 }

@@ -210,6 +210,11 @@ func runSweep(structure string, seed int64, ops, maxHits, depth, workers, sweepT
 			if r.Violation != "" || r.Error != "" {
 				fmt.Fprintf(os.Stderr, "VIOLATION %s %s k=%d adv=%s depth=%d: %s%s\n",
 					r.Structure, r.Site, r.Hit, r.Adversary, r.Depth, r.Violation, r.Error)
+				// The per-task telemetry trace: the persist and crash
+				// lifecycle events leading up to the failure.
+				for _, line := range r.Trace {
+					fmt.Fprintf(os.Stderr, "  trace %s\n", line)
+				}
 			}
 		}
 		return 1

@@ -32,6 +32,7 @@ var defaultDirs = []string{
 	"internal/histcheck",
 	"internal/tracking",
 	"internal/pmem",
+	"internal/telemetry",
 }
 
 func main() {

@@ -1,0 +1,36 @@
+// Command telemetryvet validates telemetry snapshot files against the
+// repro-telemetry/1 schema: well-formed JSON with no unknown fields,
+// internally consistent per-site counters and latency histograms, and a
+// monotone event trace. The CI telemetry-smoke gate runs it over the
+// snapshot a short benchrunner -telemetry run produces.
+//
+//	telemetryvet telemetry.json [more.json ...]
+//
+// Exits non-zero (naming the offending file) on the first violation.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: telemetryvet snapshot.json [more.json ...]")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := telemetry.ValidateSnapshotJSON(data); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: ok\n", path)
+	}
+}

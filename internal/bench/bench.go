@@ -10,9 +10,12 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,6 +27,7 @@ import (
 	"repro/internal/rhash"
 	"repro/internal/rlist"
 	"repro/internal/romulus"
+	"repro/internal/telemetry"
 )
 
 // Algo names an evaluated implementation, with the paper's labels.
@@ -85,6 +89,12 @@ type Config struct {
 	// TrackingNoReadOnlyOpt disables the paper's read-only optimization
 	// in the Tracking list (ablation).
 	TrackingNoReadOnlyOpt bool
+	// Telemetry, when non-nil, observes the run: the registry is attached
+	// to the pool as its persistence sink (after preloading, so it sees
+	// only the measured phase), every operation's latency is recorded into
+	// its histograms, and worker goroutines carry pprof labels. Nil — the
+	// default — keeps the measured loop free of timestamping.
+	Telemetry *telemetry.Registry
 }
 
 // Result is one measured data point.
@@ -213,6 +223,56 @@ func applySiteConfig(pool *pmem.Pool, cfg Config) {
 	}
 }
 
+// runOne draws and executes one operation of the configured mix,
+// recording its latency when a telemetry registry is attached. The update
+// direction is a draw of its own: the previous scheme reused the parity
+// of the mix draw (pct&1), which skews the insert/delete split whenever
+// FindPct is odd (the update range [FindPct,100) then holds unequal
+// numbers of even and odd values) and ties the direction to the mix
+// position instead of an independent coin.
+func runOne(run opRunner, rng *rand.Rand, cfg *Config, tid int) {
+	key := rng.Int63n(cfg.Workload.KeyRange) + 1
+	op := telemetry.OpFind
+	if rng.Intn(100) >= cfg.Workload.FindPct {
+		if rng.Intn(2) == 0 {
+			op = telemetry.OpInsert
+		} else {
+			op = telemetry.OpDelete
+		}
+	}
+	var start time.Time
+	if cfg.Telemetry != nil {
+		start = time.Now()
+	}
+	switch op {
+	case telemetry.OpInsert:
+		run.Insert(key)
+	case telemetry.OpDelete:
+		run.Delete(key)
+	default:
+		run.Find(key)
+	}
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.RecordOp(tid, op, time.Since(start).Nanoseconds())
+	}
+}
+
+// workerLabels runs body under pprof labels identifying the benchmark
+// worker, so CPU profiles of telemetry-enabled runs attribute samples to
+// (algorithm, thread). Unlabelled otherwise: label maintenance costs a
+// goroutine-local store per transition and is pure overhead when nobody
+// profiles.
+func workerLabels(cfg *Config, tid int, body func()) {
+	if cfg.Telemetry == nil {
+		body()
+		return
+	}
+	pprof.Do(context.Background(), pprof.Labels(
+		"bench_algo", string(cfg.Algo),
+		"bench_tid", strconv.Itoa(tid),
+	), func(context.Context) { body() })
+}
+
 // Run executes one measurement and returns its data point.
 func Run(cfg Config) (Result, error) {
 	if cfg.Threads <= 0 {
@@ -238,6 +298,12 @@ func Run(cfg Config) (Result, error) {
 		pre.Insert(rng.Int63n(cfg.Workload.KeyRange) + 1)
 	}
 
+	// Telemetry attaches after the preload so the registry, like base,
+	// observes only the measured phase.
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.AttachPool(inst.pool)
+	}
+
 	base := inst.pool.Snapshot()
 	var stop atomic.Bool
 	var total atomic.Uint64
@@ -247,30 +313,23 @@ func Run(cfg Config) (Result, error) {
 		wg.Add(1)
 		go func(tid int) {
 			defer wg.Done()
-			r := inst.runner(tid)
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(tid)*7919))
-			ops := uint64(0)
-			for !stop.Load() {
-				for i := 0; i < 8; i++ {
-					key := rng.Int63n(cfg.Workload.KeyRange) + 1
-					pct := rng.Intn(100)
-					switch {
-					case pct < cfg.Workload.FindPct:
-						r.Find(key)
-					case pct&1 == 0:
-						r.Insert(key)
-					default:
-						r.Delete(key)
+			workerLabels(&cfg, tid, func() {
+				r := inst.runner(tid)
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(tid)*7919))
+				ops := uint64(0)
+				for !stop.Load() {
+					for i := 0; i < opBatch; i++ {
+						runOne(r, rng, &cfg, tid)
+						ops++
+						// Yield between operations: on few-core hosts this
+						// recreates the fine-grained thread interleaving of
+						// the paper's 96-hardware-thread machine, which the
+						// contention-dependent flush costs rely on.
+						runtime.Gosched()
 					}
-					ops++
-					// Yield between operations: on few-core hosts this
-					// recreates the fine-grained thread interleaving of
-					// the paper's 96-hardware-thread machine, which the
-					// contention-dependent flush costs rely on.
-					runtime.Gosched()
 				}
-			}
-			total.Add(ops)
+				total.Add(ops)
+			})
 		}(t)
 	}
 	time.Sleep(cfg.Duration)
@@ -278,14 +337,7 @@ func Run(cfg Config) (Result, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	st := inst.pool.Snapshot()
-	st.PWBs -= base.PWBs
-	st.PSyncs -= base.PSyncs
-	st.PFences -= base.PFences
-	st.SpinUnits -= base.SpinUnits
-	for k, v := range base.PWBsBySite {
-		st.PWBsBySite[k] -= v
-	}
+	st := inst.pool.Snapshot().Sub(base)
 
 	ops := total.Load()
 	return Result{

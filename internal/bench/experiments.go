@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Category is a pwb code line's measured performance-impact class
@@ -58,6 +60,11 @@ type Options struct {
 	// measured (the paper measures at several counts; one representative
 	// count keeps run time manageable).
 	CategorizeThreads int
+	// Telemetry, when non-nil, observes every measured data point of the
+	// experiment (see Config.Telemetry). Calibration runs — the
+	// categorization sweeps behind Figures 3e-6 — stay unobserved so the
+	// exported metrics describe the plotted measurements only.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultOptions returns a quick configuration suitable for CI runs.
@@ -86,6 +93,7 @@ func throughputSweep(name string, tmpl Config, o Options) (Series, error) {
 		cfg.Threads = th
 		cfg.Duration = o.Duration
 		cfg.Seed = o.Seed
+		cfg.Telemetry = o.Telemetry
 		res, err := Run(cfg)
 		if err != nil {
 			return Series{}, err
@@ -104,6 +112,7 @@ func counterSweep(name string, tmpl Config, o Options, pick func(Result) float64
 		cfg.Threads = th
 		cfg.Duration = o.Duration
 		cfg.Seed = o.Seed
+		cfg.Telemetry = o.Telemetry
 		res, err := Run(cfg)
 		if err != nil {
 			return Series{}, err
@@ -413,7 +422,8 @@ func KeyRangeSweep(o Options) ([]Series, error) {
 			w := UpdateIntensive()
 			w.KeyRange = kr
 			w.Preload = int(kr / 2)
-			cfg := Config{Algo: algo, Workload: w, Threads: th, Duration: o.Duration, Seed: o.Seed}
+			cfg := Config{Algo: algo, Workload: w, Threads: th, Duration: o.Duration,
+				Seed: o.Seed, Telemetry: o.Telemetry}
 			res, err := Run(cfg)
 			if err != nil {
 				return nil, err

@@ -37,14 +37,30 @@ func Prepare(cfg Config) (*Runner, error) {
 	for i := 0; i < cfg.Workload.Preload; i++ {
 		pre.Insert(rng.Int63n(cfg.Workload.KeyRange) + 1)
 	}
+	// Telemetry attaches after the preload so the registry, like base,
+	// sees only the measured phase.
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.AttachPool(inst.pool)
+	}
 	return &Runner{cfg: cfg, inst: inst, base: inst.pool.Snapshot()}, nil
 }
 
-// RunOps executes (at least) n operations spread over the configured
-// threads with the configured mix.
-func (r *Runner) RunOps(n int) {
+// opBatch is the number of operations a worker claims from the shared
+// countdown at a time, bounding the countdown's cache-line traffic.
+const opBatch = 8
+
+// RunOps executes exactly n operations spread over the configured threads
+// with the configured mix, and returns the number executed. The count
+// matters: workers claim operations in batches, and the final short batch
+// is trimmed to the claim, so callers deriving per-operation figures can
+// rely on the return value matching the work actually done. (The previous
+// scheme let every thread that saw a positive countdown run a full batch,
+// overshooting n by up to opBatch*Threads-1 operations while callers still
+// divided by n.)
+func (r *Runner) RunOps(n int) int {
 	remaining := atomic.Int64{}
 	remaining.Store(int64(n))
+	var executed atomic.Int64
 	var wg sync.WaitGroup
 	for t := 1; t <= r.cfg.Threads; t++ {
 		wg.Add(1)
@@ -52,35 +68,34 @@ func (r *Runner) RunOps(n int) {
 			defer wg.Done()
 			run := r.inst.runner(tid)
 			rng := rand.New(rand.NewSource(r.cfg.Seed + int64(tid)*7919))
-			for remaining.Add(-8) > -8 {
-				for i := 0; i < 8; i++ {
-					key := rng.Int63n(r.cfg.Workload.KeyRange) + 1
-					pct := rng.Intn(100)
-					switch {
-					case pct < r.cfg.Workload.FindPct:
-						run.Find(key)
-					case pct&1 == 0:
-						run.Insert(key)
-					default:
-						run.Delete(key)
-					}
+			for {
+				before := remaining.Add(-opBatch) + opBatch
+				if before <= 0 {
+					return
+				}
+				todo := int64(opBatch)
+				if before < todo {
+					todo = before
+				}
+				for i := int64(0); i < todo; i++ {
+					runOne(run, rng, &r.cfg, tid)
 					runtime.Gosched()
 				}
+				executed.Add(todo)
 			}
 		}(t)
 	}
 	wg.Wait()
+	return int(executed.Load())
 }
 
-// Stats returns the persistence counters accumulated by RunOps so far.
+// Stats returns the persistence counters accumulated by RunOps so far:
+// the delta between the pool's current snapshot and the post-preload
+// baseline. Stats.Sub keeps the delta well-formed — only sites with
+// activity appear, and counters can never underflow — where the previous
+// in-place subtraction left stale zero entries for idle sites, wrapped
+// around on keys whose base exceeded the snapshot, and silently kept
+// absolute values for keys the base never saw.
 func (r *Runner) Stats() pmem.Stats {
-	st := r.inst.pool.Snapshot()
-	st.PWBs -= r.base.PWBs
-	st.PSyncs -= r.base.PSyncs
-	st.PFences -= r.base.PFences
-	st.SpinUnits -= r.base.SpinUnits
-	for k, v := range r.base.PWBsBySite {
-		st.PWBsBySite[k] -= v
-	}
-	return st
+	return r.inst.pool.Snapshot().Sub(r.base)
 }

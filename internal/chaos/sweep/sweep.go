@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/pmem"
+	"repro/internal/telemetry"
 )
 
 // Adversary names a crash-time flush decision the sweep pairs with every
@@ -109,6 +110,45 @@ type TaskResult struct {
 	Violation string `json:"violation,omitempty"`
 	// Error reports a harness-level failure (attach error etc.).
 	Error string `json:"error,omitempty"`
+	// Metrics summarizes the persistence telemetry of the task's whole
+	// life (workload, crashes, recoveries).
+	Metrics *TaskMetrics `json:"metrics,omitempty"`
+	// Trace is the tail of the task's persistence/crash event trace,
+	// dumped only when the task ended in a violation or harness error.
+	Trace []string `json:"trace,omitempty"`
+}
+
+// TaskMetrics is the compact per-task telemetry embedded in the coverage
+// report. Only deterministic counters are exported — wall-clock stall
+// times would churn the checked-in crash_coverage.json on every
+// regeneration.
+type TaskMetrics struct {
+	// PWBs counts executed write-backs across the task's runs.
+	PWBs uint64 `json:"pwbs"`
+	// PSyncs counts executed psyncs.
+	PSyncs uint64 `json:"psyncs"`
+	// PFences counts executed pfences.
+	PFences uint64 `json:"pfences"`
+	// Events counts trace events (persist + crash lifecycle) recorded.
+	Events uint64 `json:"events"`
+}
+
+// taskRegistry builds the per-task telemetry registry: a small trace ring
+// with persist events on, cheap enough for the sweep's short histories.
+func taskRegistry(pool *pmem.Pool) *telemetry.Registry {
+	reg := telemetry.NewRegistry(telemetry.Config{RingSize: 512, TracePersist: true})
+	reg.AttachPool(pool)
+	return reg
+}
+
+// finishTaskTelemetry fills the task's metrics and, for failed tasks, the
+// event-trace tail.
+func finishTaskTelemetry(reg *telemetry.Registry, res *TaskResult) {
+	t := reg.Totals()
+	res.Metrics = &TaskMetrics{PWBs: t.PWBs, PSyncs: t.PSyncs, PFences: t.PFences, Events: t.Events}
+	if res.Violation != "" || res.Error != "" {
+		res.Trace = reg.Snapshot().FormatTrace(64)
+	}
 }
 
 // SiteReport aggregates one site's coverage across its tasks.
@@ -375,6 +415,7 @@ func runProvokeTask(a *Adapter, t sweepTask, cfg *Config) TaskResult {
 		Adversary: t.adversary, Depth: t.depth, Scripted: true,
 	}
 	pool := cfg.newTaskPool(a, cfg.threadsFor(a)+1) // scenarios use threads 0..2
+	reg := taskRegistry(pool)
 	advRng := rand.New(rand.NewSource(t.taskSeed(cfg.Seed)))
 	p := &Provoker{
 		pool: pool, site: t.site, hit: t.hit, depth: t.depth,
@@ -389,6 +430,7 @@ func runProvokeTask(a *Adapter, t sweepTask, cfg *Config) TaskResult {
 	case err != nil:
 		res.Violation = err.Error()
 	}
+	finishTaskTelemetry(reg, &res)
 	return res
 }
 
@@ -401,8 +443,12 @@ func runSweepTask(a *Adapter, t sweepTask, cfg *Config) TaskResult {
 		Structure: t.structure, Site: t.site, Hit: t.hit,
 		Adversary: t.adversary, Depth: t.depth, Threads: t.threads,
 	}
+	var reg *telemetry.Registry
 	fail := func(err error) TaskResult {
 		res.Error = err.Error()
+		if reg != nil {
+			finishTaskTelemetry(reg, &res)
+		}
 		return res
 	}
 	threads := cfg.threadsFor(a)
@@ -410,6 +456,7 @@ func runSweepTask(a *Adapter, t sweepTask, cfg *Config) TaskResult {
 		threads = t.threads
 	}
 	pool := cfg.newTaskPool(a, threads)
+	reg = taskRegistry(pool)
 	site := pool.RegisterSite(t.site) // idempotent label lookup
 	sched := chaos.NewSchedule(threads, cfg.OpsPerThread, cfg.Seed, a.GenOp)
 	factory, err := a.Reattach(pool)
@@ -454,6 +501,7 @@ func runSweepTask(a *Adapter, t sweepTask, cfg *Config) TaskResult {
 	if err := a.Validate(pool, out); err != nil {
 		res.Violation = err.Error()
 	}
+	finishTaskTelemetry(reg, &res)
 	return res
 }
 

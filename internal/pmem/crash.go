@@ -52,6 +52,7 @@ func (p *Pool) Crash(pol CrashPolicy) {
 			ctx.commitPending()
 		}
 		p.evictAll()
+		p.emitPoolEvent(EventCrashResolved, NoSite, 1)
 		return
 	}
 	// Evictions happen first: under TSO with ordered flushes, a store can
@@ -64,6 +65,7 @@ func (p *Pool) Crash(pol CrashPolicy) {
 	for _, ctx := range ctxs {
 		p.crashThread(ctx, pol)
 	}
+	p.emitPoolEvent(EventCrashResolved, NoSite, 0)
 }
 
 // crashThread commits an adversarially chosen, fence-consistent prefix of
@@ -178,4 +180,5 @@ func (p *Pool) Recover() {
 		p.clearCrashCtl(ctlSiteArm)
 		p.siteArm.Store(0)
 	}
+	p.emitPoolEvent(EventRecovered, NoSite, 0)
 }

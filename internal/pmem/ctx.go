@@ -33,6 +33,16 @@ type ThreadCtx struct {
 	siteGen  uint64   // generation of the cached site-enabled bitmask
 	siteBits []uint64 // cached copy of the pool's enabled bitmask
 
+	// Telemetry state, owner-only. sink is the generation-cached copy of
+	// the pool's telemetry sink (nil when detached — the steady state,
+	// checked with one plain load per persistence instruction). The other
+	// fields accumulate per-site write-back counts between PSyncs for
+	// stall attribution; they are touched only while a sink is attached.
+	sink        TelemetrySink
+	telePend    []uint64    // per-site PWBs since the last PSync
+	teleTouched []Site      // sites with a non-zero telePend entry
+	teleBuf     []SiteStall // reusable argument buffer for TelemetryPSync
+
 	// Counters. The owner updates each with one uncontended atomic add
 	// (its line stays exclusive in the owner's cache); Stats snapshots
 	// read them while the run is in flight, hence the atomics. The pad
@@ -55,6 +65,7 @@ func (p *Pool) NewThread(tid int) *ThreadCtx {
 	ctx := &ThreadCtx{pool: p, tid: tid}
 	p.mu.Lock()
 	ctx.pwbPerSite = make([]atomic.Uint64, len(p.sites))
+	ctx.sink = p.telemetry
 	p.ctxs = append(p.ctxs, ctx)
 	p.mu.Unlock()
 	return ctx
@@ -150,6 +161,7 @@ func (ctx *ThreadCtx) StoreDurable(s Site, a Addr, v uint64) {
 	p.checkCrash()
 	wi := p.wordIndex(a)
 	p.storeWord(wi, v)
+	stall := 0
 	switch p.mode {
 	case ModeStrict:
 		atomic.StoreUint32(&p.dirty[wi/LineWords], 1)
@@ -166,10 +178,13 @@ func (ctx *ThreadCtx) StoreDurable(s Site, a Addr, v uint64) {
 			}
 		}
 	case ModeFast:
-		ctx.chargePWB(wi / LineWords)
+		stall = ctx.chargePWB(wi / LineWords)
 	}
 	if ctx.siteOn(s) {
 		ctx.countPWB(s)
+		if ctx.sink != nil {
+			ctx.telePWB(s, stall)
+		}
 		if p.ctlFast()&ctlSiteArm != 0 {
 			ctx.siteHit(s)
 		}
@@ -234,10 +249,14 @@ func (ctx *ThreadCtx) PWB(s Site, a Addr) {
 	}
 	ctx.countPWB(s)
 	line := wi / LineWords
+	stall := 0
 	if p.mode == ModeStrict {
 		ctx.captureLine(line)
 	} else {
-		ctx.chargePWB(line)
+		stall = ctx.chargePWB(line)
+	}
+	if ctx.sink != nil {
+		ctx.telePWB(s, stall)
 	}
 	if p.ctlFast()&ctlSiteArm != 0 {
 		ctx.siteHit(s)
@@ -259,10 +278,14 @@ func (ctx *ThreadCtx) PWBRange(s Site, a Addr, words int) {
 	last := p.wordIndex(a+Addr((words-1)*WordSize)) / LineWords
 	for line := first; line <= last; line++ {
 		ctx.countPWB(s)
+		stall := 0
 		if p.mode == ModeStrict {
 			ctx.captureLine(line)
 		} else {
-			ctx.chargePWB(line)
+			stall = ctx.chargePWB(line)
+		}
+		if ctx.sink != nil {
+			ctx.telePWB(s, stall)
 		}
 		if p.ctlFast()&ctlSiteArm != 0 {
 			ctx.siteHit(s)
@@ -316,11 +339,12 @@ func (p *Pool) snapLine(e *wbEntry) {
 	}
 }
 
-// chargePWB performs the ModeFast cost accounting for a write-back of line.
+// chargePWB performs the ModeFast cost accounting for a write-back of line
+// and returns the spin units charged (for telemetry stall attribution).
 // It touches shared per-line metadata (real contention, as on the modeled
 // hardware: the flushed line itself moves between caches) and spins in
 // proportion to the line's flush heat.
-func (ctx *ThreadCtx) chargePWB(line int) {
+func (ctx *ThreadCtx) chargePWB(line int) int {
 	p := ctx.pool
 	m := atomic.LoadUint64(&p.lineMeta[line])
 	last := int(m & 0xffffffff)
@@ -336,6 +360,7 @@ func (ctx *ThreadCtx) chargePWB(line int) {
 	n := p.cost.PWBBase + heat*p.cost.PWBHeatUnit
 	spin(n)
 	ctx.spun.Add(uint64(n))
+	return n
 }
 
 // PFence orders the thread's preceding PWBs before its subsequent PWBs.
@@ -346,6 +371,9 @@ func (ctx *ThreadCtx) PFence() {
 		return
 	}
 	ctx.pfences.Add(1)
+	if ctx.sink != nil {
+		ctx.sink.TelemetryPFence(ctx.tid)
+	}
 	if p.mode == ModeStrict {
 		ctx.pending = append(ctx.pending, wbEntry{fence: true})
 		ctx.epochStart = len(ctx.pending)
@@ -372,10 +400,17 @@ func (ctx *ThreadCtx) PSync() {
 	ctx.psyncs.Add(1)
 	switch p.mode {
 	case ModeStrict:
-		ctx.commitPending()
+		if ctx.sink != nil {
+			ctx.telePSync(0, ctx.commitPendingTimed())
+		} else {
+			ctx.commitPending()
+		}
 	case ModeFast:
 		spin(p.cost.PSyncCost)
 		ctx.spun.Add(uint64(p.cost.PSyncCost))
+		if ctx.sink != nil {
+			ctx.telePSync(int64(p.cost.PSyncCost), 0)
+		}
 	}
 }
 

@@ -146,6 +146,9 @@ type Pool struct {
 	sites       []*siteInfo
 	enabledBits []uint64 // per-site enabled bitmask, under mu
 	genLocked   uint64   // shadow of siteGen, under mu
+	// telemetry is the attached sink (nil when detached), under mu;
+	// threads consult their generation-cached copy (see telemetry.go).
+	telemetry TelemetrySink
 }
 
 // New creates a Pool. It panics on an invalid configuration; a simulation
@@ -340,7 +343,10 @@ func (p *Pool) DurableLoad(a Addr) uint64 {
 // by any ThreadCtx panics with ErrCrashed. The crash orchestrator (see
 // internal/chaos) recovers those panics, waits for all threads to park, and
 // then calls Crash followed by Recover.
-func (p *Pool) TriggerCrash() { p.setCrashCtl(ctlCrashed) }
+func (p *Pool) TriggerCrash() {
+	p.setCrashCtl(ctlCrashed)
+	p.emitPoolEvent(EventCrashTriggered, NoSite, 0)
+}
 
 // CrashPending reports whether a crash has been triggered and not yet
 // resolved by Crash/Recover.

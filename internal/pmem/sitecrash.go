@@ -41,6 +41,7 @@ func (p *Pool) SetCrashAtSite(s Site, k int64) {
 	p.siteArm.Store(int64(s) + 1)
 	p.siteArmHits.Store(k)
 	p.setCrashCtl(ctlSiteArm)
+	p.emitPoolEvent(EventSiteArmed, s, uint64(k))
 }
 
 // CrashSiteArmed reports the currently armed site trigger: the target site
@@ -71,6 +72,9 @@ func (ctx *ThreadCtx) siteHit(s Site) {
 	if p.siteArmHits.Add(-1) == 0 {
 		p.setCrashCtl(ctlCrashed)
 		p.clearCrashCtl(ctlSiteArm)
+		if ctx.sink != nil {
+			ctx.sink.TelemetryEvent(EventCrashTriggered, ctx.tid, s, 0)
+		}
 		panic(ErrCrashed)
 	}
 }

@@ -123,13 +123,15 @@ func (ctx *ThreadCtx) siteOn(s Site) bool {
 	return true
 }
 
-// refreshSites re-copies the enabled bitmask under the pool lock.
+// refreshSites re-copies the enabled bitmask (and the telemetry sink,
+// which is published through the same generation) under the pool lock.
 //
 //go:noinline
 func (ctx *ThreadCtx) refreshSites() {
 	p := ctx.pool
 	p.mu.Lock()
 	ctx.siteBits = append(ctx.siteBits[:0], p.enabledBits...)
+	ctx.sink = p.telemetry
 	ctx.siteGen = p.genLocked
 	p.mu.Unlock()
 }
@@ -170,6 +172,33 @@ func (p *Pool) Snapshot() Stats {
 		st.SpinUnits += ctx.spun.Load()
 	}
 	return st
+}
+
+// Sub returns the counters accumulated since base was snapshotted: the
+// per-site map contains exactly the sites with a positive delta (no stale
+// zero entries, no keys base saw but st did not), and every difference is
+// clamped at zero so a base that exceeds the snapshot (a pool reset, a
+// detached context) can never underflow the unsigned counters.
+func (st Stats) Sub(base Stats) Stats {
+	sub := func(a, b uint64) uint64 {
+		if a <= b {
+			return 0
+		}
+		return a - b
+	}
+	d := Stats{
+		PWBsBySite: make(map[string]uint64, len(st.PWBsBySite)),
+		PWBs:       sub(st.PWBs, base.PWBs),
+		PSyncs:     sub(st.PSyncs, base.PSyncs),
+		PFences:    sub(st.PFences, base.PFences),
+		SpinUnits:  sub(st.SpinUnits, base.SpinUnits),
+	}
+	for k, v := range st.PWBsBySite {
+		if dv := sub(v, base.PWBsBySite[k]); dv > 0 {
+			d.PWBsBySite[k] = dv
+		}
+	}
+	return d
 }
 
 // SortedSiteCounts returns (label, count) pairs in descending count order.

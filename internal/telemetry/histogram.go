@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Op identifies one operation class of the benchmark harness for latency
+// histogramming.
+type Op int
+
+// The operation classes.
+const (
+	// OpFind is a read-only lookup (contains / read).
+	OpFind Op = iota
+	// OpInsert is an insert / increment-style update.
+	OpInsert
+	// OpDelete is a delete-style update.
+	OpDelete
+	numOps
+)
+
+// String names the operation class for snapshots.
+func (o Op) String() string {
+	switch o {
+	case OpFind:
+		return "find"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	default:
+		return "unknown"
+	}
+}
+
+// histBuckets is the number of log2 latency buckets: bucket b counts
+// durations whose nanosecond value has bit-length b, i.e. the half-open
+// range [2^(b-1), 2^b) ns (bucket 0 counts exactly 0 ns). 64 buckets cover
+// every representable duration.
+const histBuckets = 64
+
+// histShard is one thread's share of one operation class's latency
+// histogram. All fields are atomics so a Snapshot taken mid-run reads a
+// consistent-enough merge without stopping recorders; the owning thread is
+// the only writer, so the adds never contend.
+type histShard struct {
+	counts [histBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sumNs  atomic.Uint64
+}
+
+// record adds one duration (in nanoseconds; negatives clamp to 0).
+func (h *histShard) record(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bits.Len64(uint64(ns))].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(uint64(ns))
+}
+
+// HistogramSnapshot is the merged latency histogram of one operation class
+// across all recording threads.
+type HistogramSnapshot struct {
+	// Op is the operation class name ("find", "insert", "delete").
+	Op string `json:"op"`
+	// Count is the number of recorded operations.
+	Count uint64 `json:"count"`
+	// TotalNs is the summed latency of all recorded operations.
+	TotalNs uint64 `json:"total_ns"`
+	// MeanNs is TotalNs / Count.
+	MeanNs float64 `json:"mean_ns"`
+	// P50Ns, P90Ns and P99Ns are quantile estimates, each reported as the
+	// upper bound of the log2 bucket containing the quantile (so they
+	// overestimate by at most 2x, the bucket resolution).
+	P50Ns uint64 `json:"p50_ns"`
+	// P90Ns is the 90th-percentile estimate; see P50Ns for resolution.
+	P90Ns uint64 `json:"p90_ns"`
+	// P99Ns is the 99th-percentile estimate; see P50Ns for resolution.
+	P99Ns uint64 `json:"p99_ns"`
+	// Buckets lists the non-empty log2 buckets in ascending latency order.
+	Buckets []HistBucket `json:"buckets"`
+}
+
+// HistBucket is one non-empty log2 latency bucket.
+type HistBucket struct {
+	// MaxNs is the inclusive upper bound of the bucket: the bucket counts
+	// durations in (MaxNs/2, MaxNs], except the 0-ns bucket (MaxNs 0).
+	MaxNs uint64 `json:"max_ns"`
+	// Count is the number of operations that fell in the bucket.
+	Count uint64 `json:"count"`
+}
+
+// bucketMaxNs returns the inclusive upper bound of log2 bucket b.
+func bucketMaxNs(b int) uint64 {
+	if b == 0 {
+		return 0
+	}
+	if b >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(b) - 1
+}
+
+// mergeHistograms folds per-thread shards of one operation class into a
+// snapshot. Counts and sums are read with atomic loads; a concurrent record
+// may land in the count but not yet the sum (or vice versa), which skews
+// MeanNs by at most one in-flight operation.
+func mergeHistograms(op Op, shards []*histShard) HistogramSnapshot {
+	var merged [histBuckets]uint64
+	out := HistogramSnapshot{Op: op.String()}
+	for _, sh := range shards {
+		if sh == nil {
+			continue
+		}
+		for b := range merged {
+			merged[b] += sh.counts[b].Load()
+		}
+		out.Count += sh.count.Load()
+		out.TotalNs += sh.sumNs.Load()
+	}
+	var total uint64
+	for b := range merged {
+		if merged[b] > 0 {
+			out.Buckets = append(out.Buckets, HistBucket{MaxNs: bucketMaxNs(b), Count: merged[b]})
+			total += merged[b]
+		}
+	}
+	// Count is the bucket sum, so the exported histogram is internally
+	// consistent even when the snapshot races in-flight records (whose
+	// separately-loaded count/sum words may lag the bucket adds).
+	out.Count = total
+	if total == 0 {
+		out.TotalNs = 0
+		return out
+	}
+	out.MeanNs = float64(out.TotalNs) / float64(out.Count)
+	quantile := func(q float64) uint64 {
+		rank := uint64(q * float64(total))
+		if rank >= total {
+			rank = total - 1
+		}
+		var cum uint64
+		for _, bk := range out.Buckets {
+			cum += bk.Count
+			if cum > rank {
+				return bk.MaxNs
+			}
+		}
+		return out.Buckets[len(out.Buckets)-1].MaxNs
+	}
+	if total > 0 {
+		out.P50Ns = quantile(0.50)
+		out.P90Ns = quantile(0.90)
+		out.P99Ns = quantile(0.99)
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"sync/atomic"
+
+	"repro/internal/pmem"
+)
+
+// The event-trace ring: a bounded, lock-free buffer of persistence and
+// crash-lifecycle events. Writers claim a global sequence number with one
+// atomic add and publish an immutable event record into the slot the
+// sequence maps to; old events are overwritten (and counted as dropped)
+// once the ring wraps. Readers collect whatever pointers are published —
+// an event is either fully visible or absent, never torn, because the
+// record is never mutated after its pointer is stored.
+
+// rawEvent is the stored trace record. Immutable after publication.
+type rawEvent struct {
+	seq  uint64
+	kind pmem.TelemetryEventKind
+	tid  int32
+	site pmem.Site
+	arg  uint64
+}
+
+// ring is the bounded trace buffer. Capacity is rounded up to a power of
+// two so slot selection is a mask.
+type ring struct {
+	mask  uint64
+	seq   atomic.Uint64
+	slots []atomic.Pointer[rawEvent]
+}
+
+func newRing(capacity int) *ring {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &ring{mask: uint64(n - 1), slots: make([]atomic.Pointer[rawEvent], n)}
+}
+
+// append publishes one event, overwriting the oldest if the ring is full.
+func (r *ring) append(kind pmem.TelemetryEventKind, tid int, site pmem.Site, arg uint64) {
+	e := &rawEvent{kind: kind, tid: int32(tid), site: site, arg: arg}
+	e.seq = r.seq.Add(1) - 1
+	r.slots[e.seq&r.mask].Store(e)
+}
+
+// collect returns the published events in sequence order plus the total
+// number ever appended. Events overwritten by wraparound (and events whose
+// writer claimed a sequence number but has not yet stored the pointer) are
+// simply absent.
+func (r *ring) collect() (events []*rawEvent, seen uint64) {
+	seen = r.seq.Load()
+	events = make([]*rawEvent, 0, len(r.slots))
+	for i := range r.slots {
+		if e := r.slots[i].Load(); e != nil {
+			events = append(events, e)
+		}
+	}
+	// Insertion sort by sequence number: the slots are already ordered up
+	// to one rotation, so this is near-linear and bounded by the ring
+	// capacity.
+	for i := 1; i < len(events); i++ {
+		for j := i; j > 0 && events[j-1].seq > events[j].seq; j-- {
+			events[j-1], events[j] = events[j], events[j-1]
+		}
+	}
+	return events, seen
+}
+
+// EventSnapshot is one trace event in a Snapshot, in export form.
+type EventSnapshot struct {
+	// Seq is the event's global sequence number (dense from 0; gaps in a
+	// snapshot mean wraparound or in-flight writers).
+	Seq uint64 `json:"seq"`
+	// Kind is the event kind name (pmem.TelemetryEventKind.String).
+	Kind string `json:"kind"`
+	// TID is the recording simulated thread id, -1 for pool-level events.
+	TID int `json:"tid"`
+	// Site is the label of the pwb code line involved, "" if none.
+	Site string `json:"site,omitempty"`
+	// Arg is the event-specific detail (stall units for persist events,
+	// countdown k for site-armed, adversary flag for crash-resolved).
+	Arg uint64 `json:"arg,omitempty"`
+}
