@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench-pmem sweep docs-lint telemetry-smoke ci
+.PHONY: all build test race bench-pmem bench-recovery sweep docs-lint telemetry-smoke ci
 
 all: build
 
@@ -19,6 +19,15 @@ race:
 bench-pmem:
 	$(GO) run ./cmd/benchrunner -substrate -threads 1,2,4,8,16 -out BENCH_pmem.json
 	@cat BENCH_pmem.json
+
+# bench-recovery is the recovery-latency smoke: small sizes, one trial,
+# schema-validated BENCH_recovery.json (the benchrunner validates before
+# writing). The full-size run that produced the checked-in artifact uses
+# the defaults: `go run ./cmd/benchrunner -recovery -out BENCH_recovery.json`.
+bench-recovery:
+	$(GO) run ./cmd/benchrunner -recovery -recovery-sizes 1024,4096 \
+		-recovery-workers 1,2,4 -recovery-trials 1 -out BENCH_recovery.json
+	@cat BENCH_recovery.json
 
 # sweep runs the deterministic crash-site sweep over every recoverable
 # structure and records the coverage matrix (see docs/crash-model.md).
@@ -45,4 +54,5 @@ ci:
 	$(GO) test -race ./...
 	$(MAKE) docs-lint
 	$(MAKE) bench-pmem
+	$(MAKE) bench-recovery
 	$(MAKE) telemetry-smoke

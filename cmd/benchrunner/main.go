@@ -25,6 +25,11 @@ func main() {
 		list       = flag.Bool("list", false, "list available experiments")
 		substrate  = flag.Bool("substrate", false, "measure the pmem substrate microbenchmarks instead of a figure")
 		subOps     = flag.Int("substrate-ops", 0, "operations per substrate data point (0: default)")
+		recMode    = flag.Bool("recovery", false, "measure post-crash recovery latency instead of a figure")
+		recSizes   = flag.String("recovery-sizes", "4096,32768", "comma-separated structure sizes for -recovery")
+		recWorkers = flag.String("recovery-workers", "1,2,4,8", "comma-separated engine worker counts for -recovery")
+		recTrials  = flag.Int("recovery-trials", 3, "trials per recovery data point")
+		recThreads = flag.Int("recovery-threads", 8, "crashed application threads for -recovery")
 		out        = flag.String("out", "", "write substrate JSON to this file instead of stdout")
 		teleOut    = flag.String("telemetry", "", "observe the figure runs and write a telemetry snapshot (JSON) to this file")
 		progress   = flag.Duration("progress", 2*time.Second, "telemetry progress-line interval (0 disables; needs -telemetry)")
@@ -66,9 +71,62 @@ func main() {
 		os.Stdout.Write(data)
 		return
 	}
+
+	if *recMode {
+		sizes, err := parseInts(*recSizes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -recovery-sizes: %v\n", err)
+			os.Exit(2)
+		}
+		workers, err := parseInts(*recWorkers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -recovery-workers: %v\n", err)
+			os.Exit(2)
+		}
+		opts := bench.RecoveryOptions{
+			Sizes: sizes, Workers: workers,
+			Trials: *recTrials, Threads: *recThreads, Seed: *seed,
+		}
+		var reg *telemetry.Registry
+		if *teleOut != "" {
+			reg = telemetry.NewRegistry(telemetry.Config{RingSize: 1024})
+			opts.Telemetry = reg
+		}
+		rep, err := bench.Recovery(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := bench.ValidateRecoveryJSON(data); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if *out != "" {
+			if err := os.WriteFile(*out, data, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			os.Stdout.Write(data)
+		}
+		if reg != nil {
+			if err := writeTelemetry(reg, *teleOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
 	if *experiment == "" {
 		fmt.Fprintln(os.Stderr, "usage: benchrunner -experiment fig3a [-threads 1,2,4] [-duration 500ms]\n"+
-			"       benchrunner -substrate [-threads 1,2,4,8,16] [-out BENCH_pmem.json]")
+			"       benchrunner -substrate [-threads 1,2,4,8,16] [-out BENCH_pmem.json]\n"+
+			"       benchrunner -recovery [-recovery-sizes 4096,32768] [-recovery-workers 1,2,4,8] [-out BENCH_recovery.json]")
 		os.Exit(2)
 	}
 	opts := bench.Options{Threads: ths, Duration: *duration, Seed: *seed}
@@ -107,22 +165,41 @@ func main() {
 	}
 
 	if reg != nil {
-		data, err := reg.Snapshot().MarshalIndentJSON()
-		if err != nil {
+		if err := writeTelemetry(reg, *teleOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := telemetry.ValidateSnapshotJSON(data); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		data = append(data, '\n')
-		if err := os.WriteFile(*teleOut, data, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "telemetry: wrote %s\n", *teleOut)
 	}
+}
+
+// parseInts parses a comma-separated list of positive integers.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// writeTelemetry validates and writes the registry's snapshot to path.
+func writeTelemetry(reg *telemetry.Registry, path string) error {
+	data, err := reg.Snapshot().MarshalIndentJSON()
+	if err != nil {
+		return err
+	}
+	if err := telemetry.ValidateSnapshotJSON(data); err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "telemetry: wrote %s\n", path)
+	return nil
 }
 
 // progressLoop prints a live counter line to stderr every interval until

@@ -52,6 +52,8 @@ func main() {
 		budget       = flag.Duration("budget", 0, "sweep: wall-clock budget (0 = unlimited)")
 		resume       = flag.String("resume", "", "sweep: progress file for resumable runs")
 		sweepThreads = flag.Int("sweep-threads", 0, "sweep: worker threads inside each task (0 = per-structure minimum, fully deterministic)")
+		recWorkers   = flag.Int("recovery-workers", 0, "sweep: parallel recovery-engine workers per task (0 = serial recovery)")
+		compare      = flag.String("compare", "", "sweep: baseline coverage report; exit nonzero on any verdict or metric drift")
 	)
 	flag.Parse()
 
@@ -63,7 +65,7 @@ func main() {
 	}
 	if *sweepMode {
 		os.Exit(runSweep(*structure, *seed, *ops, *maxHits, *depth, *workers,
-			*sweepThreads, *budget, *report, *resume))
+			*sweepThreads, *recWorkers, *budget, *report, *resume, *compare))
 	}
 	os.Exit(runRandomized(*structure, *seed, *threads, *ops, *crashes, *rounds, *keyRange, *mean))
 }
@@ -146,8 +148,8 @@ func runRandomized(structure string, seed int64, threads, ops, crashes, rounds i
 }
 
 // runSweep is the deterministic crash-site sweep mode.
-func runSweep(structure string, seed int64, ops, maxHits, depth, workers, sweepThreads int,
-	budget time.Duration, report, resume string) int {
+func runSweep(structure string, seed int64, ops, maxHits, depth, workers, sweepThreads, recWorkers int,
+	budget time.Duration, report, resume, compare string) int {
 	names, err := structuresFor(structure, true)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -155,15 +157,16 @@ func runSweep(structure string, seed int64, ops, maxHits, depth, workers, sweepT
 	}
 	start := time.Now()
 	rep, err := sweep.Run(sweep.Config{
-		Structures:   names,
-		Seed:         seed,
-		Threads:      sweepThreads,
-		OpsPerThread: ops,
-		MaxHits:      maxHits,
-		Depth:        depth,
-		Workers:      workers,
-		Budget:       budget,
-		ProgressPath: resume,
+		Structures:      names,
+		Seed:            seed,
+		Threads:         sweepThreads,
+		OpsPerThread:    ops,
+		MaxHits:         maxHits,
+		Depth:           depth,
+		Workers:         workers,
+		RecoveryWorkers: recWorkers,
+		Budget:          budget,
+		ProgressPath:    resume,
 		Log: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},
@@ -171,6 +174,13 @@ func runSweep(structure string, seed int64, ops, maxHits, depth, workers, sweepT
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
+	}
+	if compare != "" {
+		if err := compareReports(compare, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+			return 1
+		}
+		fmt.Printf("compare: verdicts match baseline %s\n", compare)
 	}
 	if report != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
@@ -220,6 +230,60 @@ func runSweep(structure string, seed int64, ops, maxHits, depth, workers, sweepT
 		return 1
 	}
 	return 0
+}
+
+// compareReports asserts that a fresh sweep's verdicts match a baseline
+// coverage report: every fresh task must exist in the baseline with the
+// same Violation/Error verdict, and deterministic tasks (no per-task
+// thread-count override) must also match Fired, Crashes, and the
+// persistence metrics exactly. Baseline tasks missing from the fresh run
+// (e.g. budget-skipped) are tolerated; a fresh task absent from the
+// baseline is drift.
+func compareReports(baselinePath string, fresh *sweep.Report) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base sweep.Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", baselinePath, err)
+	}
+	baseline := make(map[string]sweep.TaskResult, len(base.Results))
+	for _, r := range base.Results {
+		baseline[r.Key()] = r
+	}
+	var drift []string
+	for _, r := range fresh.Results {
+		b, ok := baseline[r.Key()]
+		if !ok {
+			drift = append(drift, fmt.Sprintf("%s: not in baseline", r.Key()))
+			continue
+		}
+		if r.Violation != b.Violation || r.Error != b.Error {
+			drift = append(drift, fmt.Sprintf("%s: verdict %q/%q, baseline %q/%q",
+				r.Key(), r.Violation, r.Error, b.Violation, b.Error))
+			continue
+		}
+		if r.Threads != 0 {
+			continue // multi-threaded top-up tasks are nondeterministic
+		}
+		if r.Fired != b.Fired || r.Crashes != b.Crashes {
+			drift = append(drift, fmt.Sprintf("%s: fired/crashes %d/%d, baseline %d/%d",
+				r.Key(), r.Fired, r.Crashes, b.Fired, b.Crashes))
+			continue
+		}
+		if r.Metrics != nil && b.Metrics != nil && *r.Metrics != *b.Metrics {
+			drift = append(drift, fmt.Sprintf("%s: metrics %+v, baseline %+v",
+				r.Key(), *r.Metrics, *b.Metrics))
+		}
+	}
+	if len(drift) > 0 {
+		for _, d := range drift {
+			fmt.Fprintf(os.Stderr, "compare: drift: %s\n", d)
+		}
+		return fmt.Errorf("%d tasks drifted from baseline", len(drift))
+	}
+	return nil
 }
 
 // sortedKeys returns m's keys in sorted order for stable output.

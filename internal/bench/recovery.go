@@ -1,0 +1,497 @@
+package bench
+
+// Recovery-latency benchmark: how long post-crash recovery takes, phase by
+// phase (attach, gc-mark, replay, verify), and how that time scales with
+// the parallel recovery engine's worker count. Results serialize into
+// BENCH_recovery.json (schema repro-recovery/1).
+//
+// Speedup model. The container running CI may have fewer cores than the
+// engine has workers, so raw wall clock cannot exhibit the engine's
+// parallelism (the pmem simulator's persistence costs are real CPU-burning
+// spins; they do not overlap on a time-shared core). The engine therefore
+// records exact work accounting per phase — Items (total work items) and
+// SpanItems (the largest share any one worker processed, which is
+// deterministic because distribution is static) — and this benchmark
+// reports modeled phase latency:
+//
+//	modeled(phase, W) = wall(phase, 1 worker) × SpanItems(W)/Items(W)
+//
+// On a host with at least W idle cores the phase's wall clock converges to
+// exactly this quantity (workers run disjoint item sets with no shared
+// mutable state), so the model is the measurement the paper's evaluation
+// hardware would produce. The raw host wall clock of each run is reported
+// alongside in wall_ns so the modeling is auditable.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/pmem"
+	"repro/internal/recovery"
+	"repro/internal/rhash"
+	"repro/internal/rmm"
+	"repro/internal/telemetry"
+)
+
+// RecoverySchema identifies the BENCH_recovery.json layout.
+const RecoverySchema = "repro-recovery/1"
+
+// RecoveryPoint is the modeled per-phase recovery latency of one structure
+// at one size and worker count.
+type RecoveryPoint struct {
+	// Structure is "rhash" or "rmm".
+	Structure string `json:"structure"`
+	// Size is the structure scale: keys resident at crash (rhash) or
+	// allocator blocks (rmm).
+	Size int `json:"size"`
+	// Workers is the engine worker count for this point.
+	Workers int `json:"workers"`
+	// AttachNs is the modeled re-attach phase latency.
+	AttachNs int64 `json:"attach_ns"`
+	// GCMarkNs is the modeled RecoverGC mark+rebuild latency (rmm only;
+	// zero for rhash).
+	GCMarkNs int64 `json:"gc_mark_ns"`
+	// ReplayNs is the modeled recovery-function replay latency (rhash
+	// only; zero for rmm).
+	ReplayNs int64 `json:"replay_ns"`
+	// VerifyNs is the modeled invariant-check phase latency.
+	VerifyNs int64 `json:"verify_ns"`
+	// TotalNs is the sum of the four modeled phase latencies.
+	TotalNs int64 `json:"total_ns"`
+	// WallNs is the raw host wall clock of the measured phases at this
+	// worker count (unscaled; equals the modeled total only on a host with
+	// enough idle cores).
+	WallNs int64 `json:"wall_ns"`
+}
+
+// RecoverySpeedup is one headline result: the modeled end-to-end recovery
+// speedup of the largest configuration at the highest worker count.
+type RecoverySpeedup struct {
+	// Structure is "rhash" or "rmm".
+	Structure string `json:"structure"`
+	// Size is the structure scale of the headline configuration.
+	Size int `json:"size"`
+	// Workers is the worker count the speedup is quoted at.
+	Workers int `json:"workers"`
+	// Speedup is modeled total at 1 worker divided by modeled total at
+	// Workers workers.
+	Speedup float64 `json:"speedup"`
+}
+
+// RecoveryReport is the full recovery-latency measurement, as serialized
+// into BENCH_recovery.json.
+type RecoveryReport struct {
+	// Schema is RecoverySchema.
+	Schema string `json:"schema"`
+	// Threads is the number of crashed application threads whose recovery
+	// functions the replay phase runs.
+	Threads int `json:"threads"`
+	// Trials is the number of repetitions each point is the median of.
+	Trials int `json:"trials"`
+	// Points holds one entry per (structure, size, workers).
+	Points []RecoveryPoint `json:"points"`
+	// Headline holds the per-structure speedup at the largest size and
+	// highest worker count.
+	Headline []RecoverySpeedup `json:"headline"`
+}
+
+// RecoveryOptions parameterizes the recovery benchmark; zero values pick
+// defaults.
+type RecoveryOptions struct {
+	// Sizes are the structure scales to measure (default 4096, 32768).
+	Sizes []int
+	// Workers are the engine worker counts to measure (default 1, 2, 4,
+	// 8); 1 is always measured as the model baseline.
+	Workers []int
+	// Trials is the repetition count per point (default 3).
+	Trials int
+	// Threads is the number of crashed application threads (default 8).
+	Threads int
+	// Seed drives workloads and crash adversaries.
+	Seed int64
+	// Telemetry, when non-nil, receives the engine's per-phase latency
+	// records under the recovery-* operation classes.
+	Telemetry *telemetry.Registry
+}
+
+// phaseSample is one trial's raw measurement: wall clock, total items, and
+// span items, indexed by recovery.Phase.
+type phaseSample struct {
+	wall  [4]int64
+	items [4]int64
+	span  [4]int64
+}
+
+// sampleEngine folds an engine's accumulated stats into s.
+func (s *phaseSample) sampleEngine(eng *recovery.Engine) {
+	stats := eng.Stats()
+	for p := recovery.PhaseAttach; p <= recovery.PhaseVerify; p++ {
+		st, ok := stats[p.String()]
+		if !ok {
+			continue
+		}
+		s.wall[p] += st.WallNs
+		s.items[p] += st.Items
+		s.span[p] += st.SpanItems
+	}
+}
+
+// Recovery runs the recovery-latency benchmark.
+func Recovery(opts RecoveryOptions) (RecoveryReport, error) {
+	if len(opts.Sizes) == 0 {
+		opts.Sizes = []int{4096, 32768}
+	}
+	if len(opts.Workers) == 0 {
+		opts.Workers = []int{1, 2, 4, 8}
+	}
+	if opts.Trials <= 0 {
+		opts.Trials = 3
+	}
+	if opts.Threads <= 0 {
+		opts.Threads = 8
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	workers := append([]int(nil), opts.Workers...)
+	sort.Ints(workers)
+	if len(workers) == 0 || workers[0] != 1 {
+		workers = append([]int{1}, workers...)
+	}
+	sizes := append([]int(nil), opts.Sizes...)
+	sort.Ints(sizes)
+
+	rep := RecoveryReport{Schema: RecoverySchema, Threads: opts.Threads, Trials: opts.Trials}
+	for _, structure := range []string{"rhash", "rmm"} {
+		for _, size := range sizes {
+			// Baseline: measured wall clock per phase at one worker.
+			base, err := recoveryPoint(structure, size, 1, opts)
+			if err != nil {
+				return rep, err
+			}
+			var oneTotal int64
+			for _, w := range workers {
+				var pt RecoveryPoint
+				if w == 1 {
+					pt = point(structure, size, 1, base.wall, base.hostWall)
+				} else {
+					// Scaled: the same workload's span/items ratios at w
+					// workers applied to the one-worker wall clock.
+					agg, err := recoveryPoint(structure, size, w, opts)
+					if err != nil {
+						return rep, err
+					}
+					var modeled [4]int64
+					for p := 0; p < 4; p++ {
+						modeled[p] = scalePhase(base.wall[p], agg.ratio[p])
+					}
+					pt = point(structure, size, w, modeled, agg.hostWall)
+				}
+				if w == 1 {
+					oneTotal = pt.TotalNs
+				}
+				rep.Points = append(rep.Points, pt)
+			}
+			maxW := workers[len(workers)-1]
+			if size == sizes[len(sizes)-1] && maxW > 1 {
+				last := rep.Points[len(rep.Points)-1]
+				sp := 0.0
+				if last.TotalNs > 0 {
+					sp = float64(oneTotal) / float64(last.TotalNs)
+				}
+				rep.Headline = append(rep.Headline, RecoverySpeedup{
+					Structure: structure, Size: size, Workers: maxW, Speedup: sp,
+				})
+			}
+		}
+	}
+	return rep, nil
+}
+
+// scalePhase applies a span/items ratio to a baseline wall clock; phases
+// with no recorded work keep the baseline (serial phases, e.g. rmm attach).
+func scalePhase(baseNs int64, ratio float64) int64 {
+	if ratio <= 0 {
+		return baseNs
+	}
+	return int64(float64(baseNs) * ratio)
+}
+
+// point assembles a report point from modeled phase latencies.
+func point(structure string, size, w int, phases [4]int64, wall int64) RecoveryPoint {
+	return RecoveryPoint{
+		Structure: structure,
+		Size:      size,
+		Workers:   w,
+		AttachNs:  phases[recovery.PhaseAttach],
+		GCMarkNs:  phases[recovery.PhaseGCMark],
+		ReplayNs:  phases[recovery.PhaseReplay],
+		VerifyNs:  phases[recovery.PhaseVerify],
+		TotalNs:   phases[0] + phases[1] + phases[2] + phases[3],
+		WallNs:    wall,
+	}
+}
+
+// pointAgg aggregates one configuration's trials: median measured wall
+// clock and span/items ratio per phase, and the median raw host wall clock
+// across the measured phases.
+type pointAgg struct {
+	wall     [4]int64
+	ratio    [4]float64
+	hostWall int64
+}
+
+// recoveryPoint runs opts.Trials trials of one configuration and returns
+// the per-phase medians.
+func recoveryPoint(structure string, size, w int, opts RecoveryOptions) (pointAgg, error) {
+	walls := make([][4]int64, 0, opts.Trials)
+	ratios := make([][4]float64, 0, opts.Trials)
+	hostWalls := make([]int64, 0, opts.Trials)
+	for trial := 0; trial < opts.Trials; trial++ {
+		seed := opts.Seed + int64(trial)*1_000_003
+		var s phaseSample
+		var err error
+		switch structure {
+		case "rhash":
+			s, err = recoveryTrialRHash(size, w, opts.Threads, seed, opts.Telemetry)
+		case "rmm":
+			s, err = recoveryTrialRMM(size, w, opts.Threads, seed, opts.Telemetry)
+		default:
+			return pointAgg{}, fmt.Errorf("bench: unknown recovery structure %q", structure)
+		}
+		if err != nil {
+			return pointAgg{}, fmt.Errorf("bench: %s size=%d workers=%d trial %d: %w",
+				structure, size, w, trial, err)
+		}
+		walls = append(walls, s.wall)
+		var r [4]float64
+		var host int64
+		for p := 0; p < 4; p++ {
+			if s.items[p] > 0 {
+				r[p] = float64(s.span[p]) / float64(s.items[p])
+			}
+			host += s.wall[p]
+		}
+		ratios = append(ratios, r)
+		hostWalls = append(hostWalls, host)
+	}
+	var agg pointAgg
+	for p := 0; p < 4; p++ {
+		wallCol := make([]int64, len(walls))
+		ratioCol := make([]float64, len(ratios))
+		for i := range walls {
+			wallCol[i] = walls[i][p]
+			ratioCol[i] = ratios[i][p]
+		}
+		agg.wall[p] = medianInt64(wallCol)
+		agg.ratio[p] = medianFloat64(ratioCol)
+	}
+	agg.hostWall = medianInt64(hostWalls)
+	return agg, nil
+}
+
+// medianInt64 returns the median of a non-empty slice.
+func medianInt64(xs []int64) int64 {
+	ys := append([]int64(nil), xs...)
+	sort.Slice(ys, func(i, j int) bool { return ys[i] < ys[j] })
+	return ys[len(ys)/2]
+}
+
+// medianFloat64 returns the median of a non-empty slice.
+func medianFloat64(xs []float64) float64 {
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	return ys[len(ys)/2]
+}
+
+// recoveryTrialRHash builds a hash map with size resident keys, crashes it
+// mid-operation under threads concurrent inserters, and measures parallel
+// attach, replay, and verify.
+func recoveryTrialRHash(size, workers, threads int, seed int64, reg *telemetry.Registry) (phaseSample, error) {
+	var s phaseSample
+	nBuckets := size / 4
+	if nBuckets < 8 {
+		nBuckets = 8
+	}
+	capacity := size * 48
+	if capacity < 1<<20 {
+		capacity = 1 << 20
+	}
+	pool := pmem.New(pmem.Config{
+		Mode:          pmem.ModeStrict,
+		CapacityWords: capacity,
+		MaxThreads:    threads + 2 + workers,
+	})
+	m := rhash.New(pool, nBuckets, threads, 0)
+
+	// Resident keys, loaded single-threaded before the crash window.
+	h0 := m.Handle(pool.NewThread(0))
+	for k := int64(1); k <= int64(size); k++ {
+		h0.Insert(k)
+	}
+
+	// Crash mid-operation: every thread inserts fresh keys until the armed
+	// trigger parks it; the key it was inserting is its pending operation.
+	rng := rand.New(rand.NewSource(seed))
+	pending := make([]int64, threads)
+	invoked := make([]bool, threads)
+	pool.SetCrashAfter(int64(2000 + rng.Intn(2000)))
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil && r != pmem.ErrCrashed {
+					panic(r)
+				}
+			}()
+			h := m.Handle(pool.NewThread(tid))
+			for iter := 0; ; iter++ {
+				key := int64(size) + 1 + int64(tid) + int64(iter*threads)
+				h.Invoke()
+				pending[tid], invoked[tid] = key, true
+				h.Insert(key)
+				invoked[tid] = false
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if !pool.CrashPending() {
+		return s, fmt.Errorf("rhash workload finished without crashing")
+	}
+	pool.Crash(pmem.CrashPolicy{Rng: rng, CommitProb: 0.5, EvictProb: 0.5})
+	pool.Recover()
+
+	eng := recovery.New(recovery.Config{Workers: workers, BaseTID: threads + 2, Telemetry: reg})
+	m2, err := rhash.AttachParallel(pool, 0, eng)
+	if err != nil {
+		return s, err
+	}
+	err = eng.ReplayThreads(threads, func(tid int) error {
+		if !invoked[tid] {
+			return nil // crashed before invocation: the system re-invokes
+		}
+		h := m2.Handle(pool.NewThread(tid))
+		h.RecoverInsert(pending[tid])
+		return nil
+	})
+	if err != nil {
+		return s, err
+	}
+	if err := m2.CheckInvariantsParallel(eng, true); err != nil {
+		return s, err
+	}
+	s.sampleEngine(eng)
+	return s, nil
+}
+
+// recoveryTrialRMM builds an allocator with size blocks, frees a third,
+// crashes, and measures attach (serial), the parallel RecoverGC
+// mark+rebuild, and the parallel in-use verification.
+func recoveryTrialRMM(size, workers, threads int, seed int64, reg *telemetry.Registry) (phaseSample, error) {
+	var s phaseSample
+	capacity := size*10 + (1 << 12)
+	if capacity < 1<<16 {
+		capacity = 1 << 16
+	}
+	pool := pmem.New(pmem.Config{
+		Mode:          pmem.ModeStrict,
+		CapacityWords: capacity,
+		MaxThreads:    threads + 2 + workers,
+	})
+	a := rmm.New(pool, 8, size, 0)
+	h := a.Handle(pool.NewThread(0))
+	addrs := make([]pmem.Addr, 0, size)
+	for i := 0; i < size; i++ {
+		b := h.Alloc()
+		if b == pmem.Null {
+			return s, fmt.Errorf("rmm ran out of blocks at %d/%d", i, size)
+		}
+		addrs = append(addrs, b)
+	}
+	reachable := make([]pmem.Addr, 0, size)
+	for i, b := range addrs {
+		if i%3 == 0 {
+			if err := h.Free(b); err != nil {
+				return s, err
+			}
+		} else {
+			reachable = append(reachable, b)
+		}
+	}
+	pool.TriggerCrash()
+	rng := rand.New(rand.NewSource(seed))
+	pool.Crash(pmem.CrashPolicy{Rng: rng, CommitProb: 0.5, EvictProb: 0.5})
+	pool.Recover()
+
+	eng := recovery.New(recovery.Config{Workers: workers, BaseTID: threads + 2, Telemetry: reg})
+	start := time.Now()
+	a2, err := rmm.Attach(pool, 0)
+	if err != nil {
+		return s, err
+	}
+	// Attach is serial header reconstruction; account it as one item so
+	// the model keeps it unscaled.
+	s.wall[recovery.PhaseAttach] = time.Since(start).Nanoseconds()
+	s.items[recovery.PhaseAttach] = 1
+	s.span[recovery.PhaseAttach] = 1
+
+	shards := rmm.ShardAddrs(reachable, 4*workers)
+	if err := a2.RecoverGCParallel(eng, shards); err != nil {
+		return s, err
+	}
+	inUse, err := a2.InUseParallel(eng)
+	if err != nil {
+		return s, err
+	}
+	if inUse != len(reachable) {
+		return s, fmt.Errorf("rmm recovered %d blocks in use, want %d", inUse, len(reachable))
+	}
+	s.sampleEngine(eng)
+	return s, nil
+}
+
+// ValidateRecoveryJSON structurally validates a BENCH_recovery.json
+// artifact: schema tag, no unknown fields, and per-point arithmetic
+// consistency.
+func ValidateRecoveryJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rep RecoveryReport
+	if err := dec.Decode(&rep); err != nil {
+		return fmt.Errorf("bench: invalid recovery report: %w", err)
+	}
+	if rep.Schema != RecoverySchema {
+		return fmt.Errorf("bench: recovery report schema %q, want %q", rep.Schema, RecoverySchema)
+	}
+	if rep.Threads <= 0 || rep.Trials <= 0 {
+		return fmt.Errorf("bench: recovery report threads=%d trials=%d must be positive",
+			rep.Threads, rep.Trials)
+	}
+	if len(rep.Points) == 0 {
+		return fmt.Errorf("bench: recovery report has no points")
+	}
+	for i, p := range rep.Points {
+		if p.Structure == "" || p.Size <= 0 || p.Workers <= 0 {
+			return fmt.Errorf("bench: recovery point %d malformed: %+v", i, p)
+		}
+		if p.AttachNs < 0 || p.GCMarkNs < 0 || p.ReplayNs < 0 || p.VerifyNs < 0 || p.WallNs < 0 {
+			return fmt.Errorf("bench: recovery point %d has negative phase time: %+v", i, p)
+		}
+		if sum := p.AttachNs + p.GCMarkNs + p.ReplayNs + p.VerifyNs; p.TotalNs != sum {
+			return fmt.Errorf("bench: recovery point %d total %d != phase sum %d", i, p.TotalNs, sum)
+		}
+	}
+	for i, h := range rep.Headline {
+		if h.Structure == "" || h.Size <= 0 || h.Workers <= 0 || h.Speedup <= 0 {
+			return fmt.Errorf("bench: recovery headline %d malformed: %+v", i, h)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRecoverySmoke runs the recovery benchmark at a tiny scale and
+// validates the produced artifact end to end.
+func TestRecoverySmoke(t *testing.T) {
+	rep, err := Recovery(RecoveryOptions{
+		Sizes:   []int{256},
+		Workers: []int{1, 2},
+		Trials:  1,
+		Threads: 2,
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateRecoveryJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	// Two structures x two worker counts.
+	if len(rep.Points) != 4 {
+		t.Fatalf("got %d points, want 4", len(rep.Points))
+	}
+	if len(rep.Headline) != 2 {
+		t.Fatalf("got %d headline entries, want 2", len(rep.Headline))
+	}
+	for _, h := range rep.Headline {
+		if h.Workers != 2 {
+			t.Fatalf("headline quoted at %d workers, want 2", h.Workers)
+		}
+	}
+}
+
+func TestValidateRecoveryJSONRejectsDrift(t *testing.T) {
+	good := `{
+		"schema": "repro-recovery/1",
+		"threads": 8, "trials": 3,
+		"points": [{"structure": "rmm", "size": 64, "workers": 2,
+			"attach_ns": 1, "gc_mark_ns": 2, "replay_ns": 0, "verify_ns": 3,
+			"total_ns": 6, "wall_ns": 9}],
+		"headline": [{"structure": "rmm", "size": 64, "workers": 2, "speedup": 1.5}]
+	}`
+	if err := ValidateRecoveryJSON([]byte(good)); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	cases := map[string]string{
+		"schema":        strings.Replace(good, "repro-recovery/1", "repro-recovery/0", 1),
+		"unknown field": strings.Replace(good, `"threads"`, `"bogus": 1, "threads"`, 1),
+		"total drift":   strings.Replace(good, `"total_ns": 6`, `"total_ns": 7`, 1),
+		"bad workers":   strings.Replace(good, `"workers": 2,`, `"workers": 0,`, 1),
+		"no points":     strings.Replace(good, `"points": [{"structure": "rmm", "size": 64, "workers": 2,
+			"attach_ns": 1, "gc_mark_ns": 2, "replay_ns": 0, "verify_ns": 3,
+			"total_ns": 6, "wall_ns": 9}]`, `"points": []`, 1),
+	}
+	for name, bad := range cases {
+		if err := ValidateRecoveryJSON([]byte(bad)); err == nil {
+			t.Errorf("%s: corrupt report accepted", name)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package sweep
+
+import (
+	"testing"
+)
+
+// TestSweepParallelRecoveryMatchesSerial is the equivalence gate for the
+// parallel recovery engine inside the sweep: with RecoveryWorkers on, every
+// task must produce the identical verdict, crash accounting, and (for
+// deterministic tasks) identical persistence metrics as the serial sweep.
+func TestSweepParallelRecoveryMatchesSerial(t *testing.T) {
+	for _, structure := range []string{"rlist", "rbst", "rhash"} {
+		serialCfg := smallSweep(structure)
+		serial, err := Run(serialCfg)
+		if err != nil {
+			t.Fatalf("%s serial: %v", structure, err)
+		}
+		parallelCfg := smallSweep(structure)
+		parallelCfg.RecoveryWorkers = 2
+		parallel, err := Run(parallelCfg)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", structure, err)
+		}
+		if len(serial.Results) != len(parallel.Results) {
+			t.Fatalf("%s: %d tasks serial vs %d parallel", structure, len(serial.Results), len(parallel.Results))
+		}
+		byKey := make(map[string]TaskResult, len(serial.Results))
+		for _, r := range serial.Results {
+			byKey[r.Key()] = r
+		}
+		for _, p := range parallel.Results {
+			s, ok := byKey[p.Key()]
+			if !ok {
+				t.Fatalf("%s: task %s missing from serial sweep", structure, p.Key())
+			}
+			if p.Violation != s.Violation || p.Error != s.Error {
+				t.Errorf("%s: %s verdict %q/%q, serial %q/%q",
+					structure, p.Key(), p.Violation, p.Error, s.Violation, s.Error)
+			}
+			if p.Threads != 0 {
+				continue // multi-threaded top-up tasks are nondeterministic
+			}
+			if p.Fired != s.Fired || p.Crashes != s.Crashes {
+				t.Errorf("%s: %s fired/crashes %d/%d, serial %d/%d",
+					structure, p.Key(), p.Fired, p.Crashes, s.Fired, s.Crashes)
+			}
+			if p.Metrics != nil && s.Metrics != nil && *p.Metrics != *s.Metrics {
+				t.Errorf("%s: %s metrics %+v, serial %+v", structure, p.Key(), *p.Metrics, *s.Metrics)
+			}
+		}
+		if serial.Violations != parallel.Violations {
+			t.Errorf("%s: violations %d serial vs %d parallel", structure, serial.Violations, parallel.Violations)
+		}
+	}
+}

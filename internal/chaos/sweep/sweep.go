@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/pmem"
+	"repro/internal/recovery"
 	"repro/internal/telemetry"
 )
 
@@ -81,6 +82,13 @@ type Config struct {
 	ProgressPath string
 	// PoolWords sizes each task's pool (default 1<<20).
 	PoolWords int
+	// RecoveryWorkers, when positive, routes each task's re-attach and
+	// final validation through a parallel recovery engine with that many
+	// workers (structures that define parallel hooks only). 0 keeps the
+	// serial paths. Task verdicts and deterministic metrics are identical
+	// either way: the engine's phases are read-only with respect to the
+	// pool's persistence counters and crash triggers.
+	RecoveryWorkers int
 	// Log, when non-nil, receives human-readable progress lines.
 	Log func(format string, args ...any)
 }
@@ -214,6 +222,13 @@ type sweepTask struct {
 	// scripted selects the adapter's provocation scenario for this site
 	// instead of the generated workload.
 	scripted bool
+}
+
+// Key returns the task result's stable identity string — the same keying
+// the resume file uses — so external consumers (crashtest -compare) can
+// line up results across reports.
+func (r TaskResult) Key() string {
+	return sweepTask{r.Structure, r.Site, r.Hit, r.Adversary, r.Depth, r.Threads, r.Scripted}.key()
 }
 
 // key is the task's stable identity, used for resume files.
@@ -459,7 +474,25 @@ func runSweepTask(a *Adapter, t sweepTask, cfg *Config) TaskResult {
 	reg = taskRegistry(pool)
 	site := pool.RegisterSite(t.site) // idempotent label lookup
 	sched := chaos.NewSchedule(threads, cfg.OpsPerThread, cfg.Seed, a.GenOp)
-	factory, err := a.Reattach(pool)
+
+	// Optional parallel recovery engine: worker thread ids sit just above
+	// the task's application ids (the pool enforces MaxThreads only for
+	// tracking-engine threads, which the engine's read-only workers never
+	// become). Attach and validation are load-only, so the engine cannot
+	// fire armed crash triggers or perturb the task's persistence counters.
+	var eng *recovery.Engine
+	if cfg.RecoveryWorkers > 0 && (a.ReattachParallel != nil || a.ValidateParallel != nil) {
+		eng = recovery.New(recovery.Config{
+			Workers: cfg.RecoveryWorkers, BaseTID: threads + 2, Telemetry: reg,
+		})
+	}
+	reattach := func() (chaos.ThreadFactory, error) {
+		if eng != nil && a.ReattachParallel != nil {
+			return a.ReattachParallel(pool, eng)
+		}
+		return a.Reattach(pool)
+	}
+	factory, err := reattach()
 	if err != nil {
 		return fail(err)
 	}
@@ -491,15 +524,21 @@ func runSweepTask(a *Adapter, t sweepTask, cfg *Config) TaskResult {
 		pool.Crash(policyFor(t.adversary, advRng))
 		pool.Recover()
 		res.Crashes++
-		if factory, err = a.Reattach(pool); err != nil {
+		if factory, err = reattach(); err != nil {
 			return fail(err)
 		}
 	}
 	pool.SetCrashAtSite(pmem.NoSite, 0)
 
 	out := &chaos.Result{Crashes: res.Crashes, Logs: sched.Logs()}
-	if err := a.Validate(pool, out); err != nil {
-		res.Violation = err.Error()
+	var verr error
+	if eng != nil && a.ValidateParallel != nil {
+		verr = a.ValidateParallel(pool, eng, out)
+	} else {
+		verr = a.Validate(pool, out)
+	}
+	if verr != nil {
+		res.Violation = verr.Error()
 	}
 	finishTaskTelemetry(reg, &res)
 	return res

@@ -30,6 +30,7 @@ import (
 	"math"
 
 	"repro/internal/pmem"
+	"repro/internal/recovery"
 	"repro/internal/tracking"
 )
 
@@ -390,42 +391,105 @@ func (t *Tree) Keys(ctx *pmem.ThreadCtx) []int64 {
 // right-subtree keys are at least it, leaves are unique for user keys, and
 // (when quiescent) no reachable internal node is left tagged.
 func (t *Tree) CheckInvariants(ctx *pmem.ThreadCtx, quiescent bool) error {
-	seen := map[int64]bool{}
-	var walk func(a pmem.Addr, lo, hi int64, depth int) error
-	walk = func(a pmem.Addr, lo, hi int64, depth int) error {
-		if a == pmem.Null {
-			return fmt.Errorf("rbst: nil child pointer at depth %d", depth)
+	return t.checkWalk(ctx, t.root, math.MinInt64, math.MaxInt64, 0, quiescent, map[int64]bool{})
+}
+
+// checkWalk recursively audits the subtree at a against key range [lo, hi].
+// seen tracks user-key duplicates within the walk's scope; disjoint key
+// ranges may use disjoint seen maps, because a duplicate across two ranges
+// necessarily violates one range bound and is reported as such.
+func (t *Tree) checkWalk(ctx *pmem.ThreadCtx, a pmem.Addr, lo, hi int64, depth int, quiescent bool, seen map[int64]bool) error {
+	if a == pmem.Null {
+		return fmt.Errorf("rbst: nil child pointer at depth %d", depth)
+	}
+	if depth > 512 {
+		return fmt.Errorf("rbst: depth exceeds 512 (cycle?)")
+	}
+	kind := ctx.Load(a + offKind)
+	key := int64(ctx.Load(a + offKey))
+	if key < lo || key > hi {
+		return fmt.Errorf("rbst: key %d outside range [%d,%d]", key, lo, hi)
+	}
+	switch kind {
+	case kindLeaf:
+		if key < Inf1 {
+			if seen[key] {
+				return fmt.Errorf("rbst: duplicate leaf key %d", key)
+			}
+			seen[key] = true
 		}
-		if depth > 512 {
+		return nil
+	case kindInternal:
+		if quiescent {
+			if info := ctx.Load(a + offInfo); tracking.IsTagged(info) {
+				return fmt.Errorf("rbst: reachable internal node %d tagged at quiescence (info %#x)", key, info)
+			}
+		}
+		if err := t.checkWalk(ctx, pmem.Addr(ctx.Load(a+offLeft)), lo, key-1, depth+1, quiescent, seen); err != nil {
+			return err
+		}
+		return t.checkWalk(ctx, pmem.Addr(ctx.Load(a+offRight)), key, hi, depth+1, quiescent, seen)
+	default:
+		return fmt.Errorf("rbst: node %#x has invalid kind %d", uint64(a), kind)
+	}
+}
+
+// checkFrontierEntry is one unexpanded subtree of CheckInvariantsParallel.
+type checkFrontierEntry struct {
+	a      pmem.Addr
+	lo, hi int64
+	depth  int
+}
+
+// CheckInvariantsParallel is CheckInvariants with disjoint subtrees
+// audited concurrently. A breadth-first expansion near the root — which
+// audits every expanded node exactly as the serial walk does — grows a
+// frontier of independent subtrees until there are a few per worker; the
+// engine then audits the frontier subtrees in parallel. Each subtree keeps
+// its own duplicate-detection map, which is sound because sibling subtree
+// key ranges are disjoint: a cross-subtree duplicate necessarily lands
+// outside one subtree's range and fails that range check.
+func (t *Tree) CheckInvariantsParallel(eng *recovery.Engine, quiescent bool) error {
+	spine := t.pool.NewThread(eng.BaseTID())
+	queue := []checkFrontierEntry{{a: t.root, lo: math.MinInt64, hi: math.MaxInt64}}
+	var leaves []checkFrontierEntry
+	target := 4 * eng.Workers()
+	for len(queue) > 0 && len(queue)+len(leaves) < target {
+		e := queue[0]
+		queue = queue[1:]
+		if e.a == pmem.Null {
+			return fmt.Errorf("rbst: nil child pointer at depth %d", e.depth)
+		}
+		if e.depth > 512 {
 			return fmt.Errorf("rbst: depth exceeds 512 (cycle?)")
 		}
-		kind := ctx.Load(a + offKind)
-		key := int64(ctx.Load(a + offKey))
-		if key < lo || key > hi {
-			return fmt.Errorf("rbst: key %d outside range [%d,%d]", key, lo, hi)
+		kind := spine.Load(e.a + offKind)
+		key := int64(spine.Load(e.a + offKey))
+		if key < e.lo || key > e.hi {
+			return fmt.Errorf("rbst: key %d outside range [%d,%d]", key, e.lo, e.hi)
 		}
 		switch kind {
 		case kindLeaf:
-			if key < Inf1 {
-				if seen[key] {
-					return fmt.Errorf("rbst: duplicate leaf key %d", key)
-				}
-				seen[key] = true
-			}
-			return nil
+			// Leaves are re-audited by the parallel phase (with per-subtree
+			// duplicate maps, sound per the range-disjointness argument).
+			leaves = append(leaves, e)
 		case kindInternal:
 			if quiescent {
-				if info := ctx.Load(a + offInfo); tracking.IsTagged(info) {
+				if info := spine.Load(e.a + offInfo); tracking.IsTagged(info) {
 					return fmt.Errorf("rbst: reachable internal node %d tagged at quiescence (info %#x)", key, info)
 				}
 			}
-			if err := walk(pmem.Addr(ctx.Load(a+offLeft)), lo, key-1, depth+1); err != nil {
-				return err
-			}
-			return walk(pmem.Addr(ctx.Load(a+offRight)), key, hi, depth+1)
+			queue = append(queue,
+				checkFrontierEntry{a: pmem.Addr(spine.Load(e.a + offLeft)), lo: e.lo, hi: key - 1, depth: e.depth + 1},
+				checkFrontierEntry{a: pmem.Addr(spine.Load(e.a + offRight)), lo: key, hi: e.hi, depth: e.depth + 1})
 		default:
-			return fmt.Errorf("rbst: node %#x has invalid kind %d", uint64(a), kind)
+			return fmt.Errorf("rbst: node %#x has invalid kind %d", uint64(e.a), kind)
 		}
 	}
-	return walk(t.root, math.MinInt64, math.MaxInt64, 0)
+	frontier := append(leaves, queue...)
+	return eng.For(t.pool, recovery.PhaseVerify, len(frontier),
+		func(ctx *pmem.ThreadCtx, i int) error {
+			e := frontier[i]
+			return t.checkWalk(ctx, e.a, e.lo, e.hi, e.depth, quiescent, map[int64]bool{})
+		}, nil)
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/pmem"
+	"repro/internal/recovery"
 	"repro/internal/rlist"
 	"repro/internal/tracking"
 )
@@ -71,48 +72,83 @@ func New(pool *pmem.Pool, nBuckets, maxThreads, rootSlot int) *Map {
 	return m
 }
 
-// Attach reconstructs a Map from the header in rootSlot.
-func Attach(pool *pmem.Pool, rootSlot int) (*Map, error) {
+// attachHeader reconstructs everything but the bucket list from the header
+// in rootSlot, returning the map skeleton and the bucket table address.
+func attachHeader(pool *pmem.Pool, rootSlot int) (*Map, pmem.Addr, error) {
 	boot := pool.NewThread(0)
 	header := pmem.Addr(boot.Load(pool.RootSlot(rootSlot)))
 	if header == pmem.Null {
-		return nil, fmt.Errorf("rhash: root slot %d holds no map", rootSlot)
+		return nil, pmem.Null, fmt.Errorf("rhash: root slot %d holds no map", rootSlot)
 	}
 	table := pmem.Addr(boot.Load(header + hdrBuckets))
 	n := int(boot.Load(header + hdrNBuckets))
 	engTable := pmem.Addr(boot.Load(header + hdrTable))
 	threads := int(boot.Load(header + hdrThreads))
 	if table == pmem.Null || n <= 0 || engTable == pmem.Null || threads <= 0 {
-		return nil, fmt.Errorf("rhash: corrupt header at %#x", uint64(header))
+		return nil, pmem.Null, fmt.Errorf("rhash: corrupt header at %#x", uint64(header))
 	}
 	eng := tracking.Attach(pool, engTable, threads, "rhash")
 	m := &Map{pool: pool, eng: eng, nBuckets: uint64(n), header: header}
-	for i := 0; i < n; i++ {
+	m.buckets = make([]*rlist.List, n)
+	return m, table, nil
+}
+
+// Attach reconstructs a Map from the header in rootSlot.
+func Attach(pool *pmem.Pool, rootSlot int) (*Map, error) {
+	m, table, err := attachHeader(pool, rootSlot)
+	if err != nil {
+		return nil, err
+	}
+	boot := pool.NewThread(0)
+	for i := range m.buckets {
 		head := pmem.Addr(boot.Load(table + pmem.Addr(i*pmem.WordSize)))
 		if head == pmem.Null {
 			return nil, fmt.Errorf("rhash: bucket %d head missing", i)
 		}
-		m.buckets = append(m.buckets, rlist.AttachEmbedded(eng, pool, head))
+		m.buckets[i] = rlist.AttachEmbedded(m.eng, pool, head)
+	}
+	return m, nil
+}
+
+// AttachParallel is Attach with the per-bucket reconstruction partitioned
+// across the engine's workers; each worker reads its buckets' head words
+// with its own thread context and fills disjoint slots of the bucket
+// slice.
+func AttachParallel(pool *pmem.Pool, rootSlot int, eng *recovery.Engine) (*Map, error) {
+	m, table, err := attachHeader(pool, rootSlot)
+	if err != nil {
+		return nil, err
+	}
+	err = eng.For(pool, recovery.PhaseAttach, len(m.buckets),
+		func(ctx *pmem.ThreadCtx, i int) error {
+			head := pmem.Addr(ctx.Load(table + pmem.Addr(i*pmem.WordSize)))
+			if head == pmem.Null {
+				return fmt.Errorf("rhash: bucket %d head missing", i)
+			}
+			m.buckets[i] = rlist.AttachEmbedded(m.eng, pool, head)
+			return nil
+		}, nil)
+	if err != nil {
+		return nil, err
 	}
 	return m, nil
 }
 
 // Handle binds a thread context to the map; one per simulated thread. Every
-// bucket handle shares the thread's CP/RD recovery data.
+// bucket handle shares the thread's CP/RD recovery data. Bucket handles are
+// built lazily on first touch of each bucket: eagerly materializing all of
+// them cost O(threads × buckets) memory up front, which dominated handle
+// creation for large tables.
 type Handle struct {
 	m       *Map
 	th      *tracking.Thread
-	handles []*rlist.Handle
+	handles []*rlist.Handle // lazily grown; nil until the first bucket touch
 }
 
-// Handle creates the per-thread handle for ctx.
+// Handle creates the per-thread handle for ctx. It performs no per-bucket
+// work or allocation; bucket handles materialize on first touch.
 func (m *Map) Handle(ctx *pmem.ThreadCtx) *Handle {
-	th := m.eng.Thread(ctx)
-	h := &Handle{m: m, th: th, handles: make([]*rlist.Handle, len(m.buckets))}
-	for i, l := range m.buckets {
-		h.handles[i] = l.HandleWith(th)
-	}
-	return h
+	return &Handle{m: m, th: m.eng.Thread(ctx)}
 }
 
 // Invoke performs the system-side invocation step; see tracking.Invoke.
@@ -130,7 +166,16 @@ func (m *Map) hash(key int64) uint64 {
 }
 
 func (h *Handle) bucket(key int64) *rlist.Handle {
-	return h.handles[h.m.hash(key)]
+	i := h.m.hash(key)
+	if h.handles == nil {
+		h.handles = make([]*rlist.Handle, len(h.m.buckets))
+	}
+	b := h.handles[i]
+	if b == nil {
+		b = h.m.buckets[i].HandleWith(h.th)
+		h.handles[i] = b
+	}
+	return b
 }
 
 // Insert adds key and reports whether it was absent.
@@ -161,18 +206,57 @@ func (m *Map) Keys(ctx *pmem.ThreadCtx) []int64 {
 	return out
 }
 
-// CheckInvariants verifies every bucket's structure and that keys hash to
-// their buckets.
-func (m *Map) CheckInvariants(ctx *pmem.ThreadCtx, quiescent bool) error {
-	for i, b := range m.buckets {
-		if err := b.CheckInvariants(ctx, quiescent); err != nil {
-			return fmt.Errorf("rhash: bucket %d: %w", i, err)
-		}
-		for _, k := range b.Keys(ctx) {
-			if m.hash(k) != uint64(i) {
-				return fmt.Errorf("rhash: key %d in bucket %d, hashes to %d", k, i, m.hash(k))
-			}
+// checkBucket verifies one bucket's structure and that its keys hash home.
+func (m *Map) checkBucket(ctx *pmem.ThreadCtx, i int, quiescent bool) error {
+	b := m.buckets[i]
+	if err := b.CheckInvariants(ctx, quiescent); err != nil {
+		return fmt.Errorf("rhash: bucket %d: %w", i, err)
+	}
+	for _, k := range b.Keys(ctx) {
+		if m.hash(k) != uint64(i) {
+			return fmt.Errorf("rhash: key %d in bucket %d, hashes to %d", k, i, m.hash(k))
 		}
 	}
 	return nil
+}
+
+// CheckInvariants verifies every bucket's structure and that keys hash to
+// their buckets.
+func (m *Map) CheckInvariants(ctx *pmem.ThreadCtx, quiescent bool) error {
+	for i := range m.buckets {
+		if err := m.checkBucket(ctx, i, quiescent); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckInvariantsParallel is CheckInvariants with the buckets partitioned
+// across the engine's workers. Buckets are disjoint lists, so per-bucket
+// checks are independent.
+func (m *Map) CheckInvariantsParallel(eng *recovery.Engine, quiescent bool) error {
+	return eng.For(m.pool, recovery.PhaseVerify, len(m.buckets),
+		func(ctx *pmem.ThreadCtx, i int) error {
+			return m.checkBucket(ctx, i, quiescent)
+		}, nil)
+}
+
+// KeysParallel is Keys with the buckets partitioned across the engine's
+// workers; the result is in the same bucket order as Keys. Like Keys it
+// assumes the buckets pass CheckInvariants (no cycle guard).
+func (m *Map) KeysParallel(eng *recovery.Engine) ([]int64, error) {
+	perBucket := make([][]int64, len(m.buckets))
+	err := eng.For(m.pool, recovery.PhaseVerify, len(m.buckets),
+		func(ctx *pmem.ThreadCtx, i int) error {
+			perBucket[i] = m.buckets[i].Keys(ctx)
+			return nil
+		}, nil)
+	if err != nil {
+		return nil, err
+	}
+	var out []int64
+	for _, ks := range perBucket {
+		out = append(out, ks...)
+	}
+	return out, nil
 }

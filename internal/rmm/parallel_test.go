@@ -1,0 +1,238 @@
+package rmm
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/recovery"
+)
+
+// buildCrashedAlloc deterministically constructs a crashed allocator state:
+// a single thread performs seeded alloc/free churn until an armed crash
+// trigger parks it, then the crash is resolved under a seeded adversary.
+// It returns the recovered pool and the volatile reachable set (the blocks
+// the application still held at the crash). Everything is a pure function
+// of seed, so calling it twice yields byte-identical pools.
+func buildCrashedAlloc(t *testing.T, seed int64, nBlocks int) (*pmem.Pool, []pmem.Addr) {
+	t.Helper()
+	pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 16, MaxThreads: 16})
+	a := New(pool, 4, nBlocks, 0)
+	rng := rand.New(rand.NewSource(seed))
+	var live []pmem.Addr
+	pool.SetCrashAfter(int64(200 + rng.Intn(3000)))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil && r != pmem.ErrCrashed {
+				panic(r)
+			}
+		}()
+		h := a.Handle(pool.NewThread(1))
+		for {
+			if len(live) == 0 || rng.Float64() < 0.6 {
+				if b := h.Alloc(); b != pmem.Null {
+					live = append(live, b)
+				}
+			} else {
+				i := rng.Intn(len(live))
+				b := live[i]
+				live = append(live[:i], live[i+1:]...)
+				if err := h.Free(b); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if !pool.CrashPending() {
+		t.Fatal("workload finished without crashing")
+	}
+	pool.Crash(pmem.CrashPolicy{
+		Rng:        rand.New(rand.NewSource(seed*7 + 1)),
+		CommitProb: 0.5,
+		EvictProb:  0.3,
+	})
+	pool.Recover()
+	return pool, live
+}
+
+// markFromList adapts a reachable list to the serial RecoverGC mark shape.
+func markFromList(addrs []pmem.Addr) func(visit func(pmem.Addr) error) error {
+	return func(visit func(pmem.Addr) error) error {
+		for _, b := range addrs {
+			if err := visit(b); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// TestRecoverGCSerialParallelIdentical rebuilds the same 100 seeded crash
+// states twice and checks that serial RecoverGC and RecoverGCParallel
+// leave byte-identical durable memory and agree on the in-use count.
+func TestRecoverGCSerialParallelIdentical(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		poolS, liveS := buildCrashedAlloc(t, seed, 256)
+		poolP, liveP := buildCrashedAlloc(t, seed, 256)
+		if len(liveS) != len(liveP) {
+			t.Fatalf("seed %d: rebuild not deterministic: %d vs %d live blocks", seed, len(liveS), len(liveP))
+		}
+
+		aS, err := Attach(poolS, 0)
+		if err != nil {
+			t.Fatalf("seed %d: serial attach: %v", seed, err)
+		}
+		if err := aS.RecoverGC(poolS.NewThread(1), markFromList(liveS)); err != nil {
+			t.Fatalf("seed %d: serial RecoverGC: %v", seed, err)
+		}
+
+		aP, err := Attach(poolP, 0)
+		if err != nil {
+			t.Fatalf("seed %d: parallel attach: %v", seed, err)
+		}
+		eng := recovery.New(recovery.Config{Workers: 4, BaseTID: 8})
+		if err := aP.RecoverGCParallel(eng, ShardAddrs(liveP, 16)); err != nil {
+			t.Fatalf("seed %d: RecoverGCParallel: %v", seed, err)
+		}
+
+		if nS, nP := aS.InUse(poolS.NewThread(2)), mustInUseParallel(t, aP, eng); nS != nP {
+			t.Fatalf("seed %d: in-use %d (serial) vs %d (parallel)", seed, nS, nP)
+		}
+		if nS := aS.InUse(poolS.NewThread(2)); nS != len(liveS) {
+			t.Fatalf("seed %d: in-use %d, want %d reachable", seed, nS, len(liveS))
+		}
+		words := poolS.AllocatedWords()
+		if wp := poolP.AllocatedWords(); wp != words {
+			t.Fatalf("seed %d: allocated words %d vs %d", seed, words, wp)
+		}
+		for w := 1; w < words; w++ { // word 0 is the reserved Null address
+			addr := pmem.Addr(w * pmem.WordSize)
+			if vS, vP := poolS.DurableLoad(addr), poolP.DurableLoad(addr); vS != vP {
+				t.Fatalf("seed %d: durable word %d differs: %#x (serial) vs %#x (parallel)", seed, w, vS, vP)
+			}
+		}
+	}
+}
+
+func mustInUseParallel(t *testing.T, a *Allocator, eng *recovery.Engine) int {
+	t.Helper()
+	n, err := a.InUseParallel(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestRecoverGCParallelConcurrentReaders races RecoverGCParallel against
+// InUse and BlockAddr readers under -race: the rebuild's bitmap writes must
+// not constitute a data race with concurrent diagnostic reads.
+func TestRecoverGCParallelConcurrentReaders(t *testing.T) {
+	pool, live := buildCrashedAlloc(t, 42, 256)
+	a, err := Attach(pool, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ctx := pool.NewThread(14 + r)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				a.InUse(ctx)
+				a.BlockAddr(r * 3)
+			}
+		}(r)
+	}
+	eng := recovery.New(recovery.Config{Workers: 4, BaseTID: 8})
+	if err := a.RecoverGCParallel(eng, ShardAddrs(live, 16)); err != nil {
+		t.Fatal(err)
+	}
+	close(done)
+	wg.Wait()
+	if n := a.InUse(pool.NewThread(2)); n != len(live) {
+		t.Fatalf("in-use %d after concurrent rebuild, want %d", n, len(live))
+	}
+}
+
+// TestAllocNearFullAmortized pins the chunk-reservation fairness fix: with
+// the allocator one block short of full, each free/alloc round-trip must
+// find the freed block in O(nBlocks/64) word loads (word-at-a-time scan
+// with the exhausted-window skip), not by re-probing every exhausted chunk
+// bit by bit.
+func TestAllocNearFullAmortized(t *testing.T) {
+	const nBlocks = 1024
+	pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 17, MaxThreads: 4})
+	a := New(pool, 4, nBlocks, 0)
+	h := a.Handle(pool.NewThread(1))
+	blocks := make([]pmem.Addr, nBlocks)
+	for i := range blocks {
+		blocks[i] = h.Alloc()
+		if blocks[i] == pmem.Null {
+			t.Fatalf("fill failed at %d", i)
+		}
+	}
+	rng := rand.New(rand.NewSource(9))
+	const rounds = 512
+	start := a.scanWords.Load()
+	for i := 0; i < rounds; i++ {
+		victim := rng.Intn(nBlocks)
+		if err := h.Free(blocks[victim]); err != nil {
+			t.Fatal(err)
+		}
+		b := h.Alloc()
+		if b == pmem.Null {
+			t.Fatalf("round %d: allocation failed with a free block available", i)
+		}
+		if b != blocks[victim] {
+			t.Fatalf("round %d: got block %#x, want the freed %#x", i, b, blocks[victim])
+		}
+	}
+	perAlloc := float64(a.scanWords.Load()-start) / rounds
+	// A full budget lap is 2*nBlocks positions = 2*nBlocks/64 word loads;
+	// anything materially above that means exhausted windows are being
+	// re-probed.
+	if limit := float64(2*nBlocks/64 + 8); perAlloc > limit {
+		t.Fatalf("near-full alloc scanned %.1f bitmap words on average, want <= %.0f", perAlloc, limit)
+	}
+}
+
+// TestAllocTinyPoolWrap exercises windows wider than the block count
+// (nBlocks < chunkBlocks): reservation windows clamp to one lap, so a
+// freed block is always found on the next wrap.
+func TestAllocTinyPoolWrap(t *testing.T) {
+	const nBlocks = 8
+	pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 12, MaxThreads: 4})
+	a := New(pool, 4, nBlocks, 0)
+	h := a.Handle(pool.NewThread(1))
+	blocks := make([]pmem.Addr, nBlocks)
+	for i := range blocks {
+		blocks[i] = h.Alloc()
+		if blocks[i] == pmem.Null {
+			t.Fatalf("fill failed at %d", i)
+		}
+	}
+	for round := 0; round < 50; round++ {
+		victim := round % nBlocks
+		if err := h.Free(blocks[victim]); err != nil {
+			t.Fatal(err)
+		}
+		if b := h.Alloc(); b != blocks[victim] {
+			t.Fatalf("round %d: got %#x, want freed %#x", round, b, blocks[victim])
+		}
+	}
+	if h.Alloc() != pmem.Null {
+		t.Fatal("full allocator handed out a block")
+	}
+}

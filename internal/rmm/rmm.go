@@ -24,9 +24,11 @@ package rmm
 
 import (
 	"fmt"
+	"math/bits"
 	"sync/atomic"
 
 	"repro/internal/pmem"
+	"repro/internal/recovery"
 )
 
 // Header word offsets.
@@ -55,6 +57,7 @@ type Allocator struct {
 	nBlocks    int
 	header     pmem.Addr
 	cursor     atomic.Int64 // volatile chunk-reservation hint
+	scanWords  atomic.Uint64 // diagnostic: bitmap words loaded by Alloc scans
 	s          sites
 }
 
@@ -133,7 +136,14 @@ func (a *Allocator) bitWord(i int) (addr pmem.Addr, mask uint64) {
 type Handle struct {
 	a      *Allocator
 	ctx    *pmem.ThreadCtx
-	lo, hi int // reserved chunk [lo, hi)
+	lo, hi int64 // reserved window [lo, hi) in unwrapped cursor space
+	// exLo, exHi is the most recent window this handle scanned to
+	// exhaustion (every block allocated), in unwrapped cursor space. It is
+	// the fairness hint: positions p and p+k*nBlocks name the same block,
+	// so after the cursor wraps a fresh window can land back on blocks the
+	// handle just proved full; the hint lets Alloc skip that prefix and
+	// spend its scan budget on blocks it has not seen this lap.
+	exLo, exHi int64
 }
 
 // Handle creates the per-thread handle for ctx.
@@ -141,46 +151,112 @@ func (a *Allocator) Handle(ctx *pmem.ThreadCtx) *Handle {
 	return &Handle{a: a, ctx: ctx}
 }
 
+// trimExhausted returns the new lower bound of window [lo, hi) after
+// skipping the prefix whose blocks lie in the exhausted window [exLo,
+// exHi) taken modulo n. Windows are at most n long, and exHi-exLo < n
+// here (a full-lap exhausted window would trim everything and is never
+// recorded), so at most two wrapped images of the exhausted window can
+// touch the prefix.
+func trimExhausted(lo, hi, exLo, exHi, n int64) int64 {
+	if exHi <= exLo || lo >= hi {
+		return lo
+	}
+	for {
+		k := (lo - exLo) / n
+		if k < 1 {
+			return lo
+		}
+		imgLo, imgHi := exLo+k*n, exHi+k*n
+		if lo < imgLo || lo >= imgHi {
+			return lo
+		}
+		lo = imgHi
+		if lo >= hi {
+			return hi
+		}
+	}
+}
+
 // Alloc claims a free block, zeroes it, and returns its address after the
 // bitmap bit is durable (so a crash can never hand the block out twice).
 // It returns Null when the allocator is exhausted.
+//
+// The scan is word-at-a-time: one Load covers up to 64 blocks, so a
+// near-full allocator costs ~nBlocks/64 loads per lap instead of nBlocks.
+// Window positions live in the cursor's unwrapped space (block = position
+// mod nBlocks) but each window is clamped to nBlocks positions, so a
+// single window never examines a block twice; combined with the
+// last-exhausted hint this keeps allocation O(1) amortized when the
+// allocator is nearly full. The scan budget is two laps of positions: one
+// lap guarantees every block was examined, the second absorbs CAS races
+// and concurrent frees (and rescans hint-skipped prefixes), matching the
+// old two-round bound.
 func (h *Handle) Alloc() pmem.Addr {
 	a := h.a
 	c := h.ctx
-	// lo and hi are positions in the cursor's unwrapped space; the block
-	// index is the position modulo nBlocks. Wrapping per position (rather
-	// than clamping a window at nBlocks) keeps every window chunkBlocks
-	// long, so when chunkBlocks >= nBlocks a single window visits every
-	// block — a clamped window only ever covered a suffix of the bitmap,
-	// and an allocator with fewer blocks than the chunk size could miss
-	// free blocks below the cursor and report spurious exhaustion.
-	for round := 0; round < 2*(a.nBlocks/chunkBlocks+1); round++ {
+	n := int64(a.nBlocks)
+	budget := 2 * n
+	var used int64
+	for used < budget {
 		if h.lo >= h.hi {
-			start := int(a.cursor.Add(chunkBlocks)) - chunkBlocks
-			h.lo = start
-			h.hi = start + chunkBlocks
+			start := a.cursor.Add(chunkBlocks) - chunkBlocks
+			h.lo, h.hi = start, start+chunkBlocks
+			if h.hi-h.lo > n {
+				h.hi = h.lo + n
+			}
+			if used < n { // hint applies on the first lap only
+				trimmed := trimExhausted(h.lo, h.hi, h.exLo, h.exHi, n)
+				used += trimmed - h.lo
+				h.lo = trimmed
+				if h.lo >= h.hi {
+					continue
+				}
+			}
 		}
-		for i := h.lo; i < h.hi; i++ {
-			blk := i % a.nBlocks
-			w, mask := a.bitWord(blk)
+		winLo := h.lo
+		for h.lo < h.hi {
+			blk := h.lo % n
+			bit := blk % 64
+			w := a.bitmap + pmem.Addr(blk/64*pmem.WordSize)
+			span := 64 - bit
+			if rem := h.hi - h.lo; rem < span {
+				span = rem
+			}
+			if tail := n - blk; tail < span {
+				span = tail
+			}
+			mask := ^uint64(0)
+			if span < 64 {
+				mask = (1<<uint(span) - 1) << uint(bit)
+			}
 			v := c.Load(w)
-			if v&mask != 0 {
+			a.scanWords.Add(1)
+			free := ^v & mask
+			if free == 0 {
+				h.lo += span
+				used += span
 				continue
 			}
-			if !c.CAS(w, v, v|mask) {
-				i-- // re-examine the same bit under the new word value
+			fb := int64(bits.TrailingZeros64(free))
+			if !c.CAS(w, v, v|1<<uint(fb)) {
+				used++ // re-examine the word under its new value
 				continue
 			}
-			h.lo = i + 1
+			h.lo += fb - bit + 1
 			c.PWB(a.s.bit, w)
 			c.PSync()
-			b := a.BlockAddr(blk)
+			b := a.BlockAddr(int(blk - bit + fb))
 			for off := 0; off < a.blockWords; off++ {
 				c.Store(b+pmem.Addr(off*pmem.WordSize), 0)
 			}
 			return b
 		}
-		h.lo = h.hi // chunk exhausted; reserve another
+		// Window exhausted without an allocation: remember it for the
+		// wrap-skip hint unless it spans a whole lap (skipping a full lap
+		// would skip every block).
+		if h.hi-winLo < n {
+			h.exLo, h.exHi = winLo, h.hi
+		}
 	}
 	return pmem.Null
 }
@@ -250,4 +326,121 @@ func (a *Allocator) RecoverGC(ctx *pmem.ThreadCtx, mark func(visit func(pmem.Add
 	}
 	ctx.PSync()
 	return nil
+}
+
+// MarkShard marks one independent shard of the application's reachable
+// set: it must invoke visit for the address of every reachable block in
+// its shard, using only the thread context it is given. Shards may
+// overlap (a block visited twice is simply marked twice) but their union
+// must be the full reachable set.
+type MarkShard func(ctx *pmem.ThreadCtx, visit func(pmem.Addr) error) error
+
+// ShardAddrs splits an already-enumerated list of reachable block
+// addresses into parts mark shards, for callers whose roots are a flat
+// list rather than a traversal.
+func ShardAddrs(addrs []pmem.Addr, parts int) []MarkShard {
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > len(addrs) && len(addrs) > 0 {
+		parts = len(addrs)
+	}
+	if len(addrs) == 0 {
+		return nil
+	}
+	shards := make([]MarkShard, 0, parts)
+	per := (len(addrs) + parts - 1) / parts
+	for lo := 0; lo < len(addrs); lo += per {
+		hi := lo + per
+		if hi > len(addrs) {
+			hi = len(addrs)
+		}
+		part := addrs[lo:hi]
+		shards = append(shards, func(_ *pmem.ThreadCtx, visit func(pmem.Addr) error) error {
+			for _, addr := range part {
+				if err := visit(addr); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	return shards
+}
+
+// RecoverGCParallel is RecoverGC with a concurrent mark phase: the shards
+// run on the engine's work-stealing queue (a shard may spawn further work
+// through its worker), each worker marking a private volatile bitmap; the
+// per-worker bitmaps are then merged with a single OR pass and the
+// persistent bitmap is rebuilt in parallel. The result is byte-identical
+// to serial RecoverGC from the same reachable set: the mark phase writes
+// no persistent state at all, and the rebuild writes exactly the words
+// that differ from the merged reachable set. The no-double-allocation
+// guarantee is preserved for the same reason as in the serial path —
+// recovery is offline, so the full merged mark is durable (each worker
+// ends its rebuild with a PSync) before any thread allocates.
+func (a *Allocator) RecoverGCParallel(eng *recovery.Engine, shards []MarkShard) error {
+	nWords := (a.nBlocks + 63) / 64
+	locals := make([][]uint64, eng.Workers())
+	tasks := make([]recovery.TaskFunc, len(shards))
+	for i, shard := range shards {
+		shard := shard
+		tasks[i] = func(w *recovery.Worker) error {
+			local := locals[w.ID]
+			if local == nil {
+				local = make([]uint64, nWords)
+				locals[w.ID] = local
+			}
+			return shard(w.Ctx, func(addr pmem.Addr) error {
+				i, err := a.blockIndex(addr)
+				if err != nil {
+					return err
+				}
+				local[i/64] |= 1 << uint(i%64)
+				return nil
+			})
+		}
+	}
+	if err := eng.RunTasks(a.pool, recovery.PhaseGCMark, tasks); err != nil {
+		return err
+	}
+	reachable := make([]uint64, nWords)
+	for _, local := range locals {
+		for wi, v := range local {
+			reachable[wi] |= v
+		}
+	}
+	return eng.For(a.pool, recovery.PhaseGCMark, nWords,
+		func(ctx *pmem.ThreadCtx, wi int) error {
+			w := a.bitmap + pmem.Addr(wi*pmem.WordSize)
+			if ctx.Load(w) != reachable[wi] {
+				ctx.Store(w, reachable[wi])
+				ctx.PWB(a.s.bit, w)
+			}
+			return nil
+		},
+		func(ctx *pmem.ThreadCtx) error {
+			ctx.PSync()
+			return nil
+		})
+}
+
+// InUseParallel counts allocated blocks with the bitmap words partitioned
+// across the engine's workers (diagnostic, word-at-a-time).
+func (a *Allocator) InUseParallel(eng *recovery.Engine) (int, error) {
+	nWords := (a.nBlocks + 63) / 64
+	var total atomic.Int64
+	err := eng.For(a.pool, recovery.PhaseVerify, nWords,
+		func(ctx *pmem.ThreadCtx, wi int) error {
+			v := ctx.Load(a.bitmap + pmem.Addr(wi*pmem.WordSize))
+			if rem := a.nBlocks - wi*64; rem < 64 {
+				v &= 1<<uint(rem) - 1
+			}
+			total.Add(int64(bits.OnesCount64(v)))
+			return nil
+		}, nil)
+	if err != nil {
+		return 0, err
+	}
+	return int(total.Load()), nil
 }
