@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench-pmem bench-recovery sweep docs-lint telemetry-smoke ci
+.PHONY: all build test race bench-pmem bench-recovery bench-batching sweep docs-lint telemetry-smoke ci
 
 all: build
 
@@ -17,8 +17,18 @@ race:
 # result; regressions here silently distort every structure benchmark, so
 # CI keeps a trajectory of BENCH_pmem.json.
 bench-pmem:
-	$(GO) run ./cmd/benchrunner -substrate -threads 1,2,4,8,16 -out BENCH_pmem.json
+	$(GO) run ./cmd/benchrunner -substrate -threads 1,2,4,8,16 -batch-ops 8 -out BENCH_pmem.json
 	@cat BENCH_pmem.json
+
+# bench-batching smokes the cross-operation batching layer: a short batched
+# substrate run (mode:"batched" points must show executed flush/sync counts
+# dropping), then a depth-1 batched crash-site sweep compared against the
+# committed coverage baseline — strict-mode batching must not change a
+# single verdict (see "Cross-operation batching" in DESIGN.md).
+bench-batching:
+	$(GO) run ./cmd/benchrunner -substrate -threads 1,2 -substrate-ops 300000 -batch-ops 8
+	$(GO) run ./cmd/crashtest -sweep -structure all -depth 1 -seed 1 -batch-ops 8 \
+		-budget 120s -compare crash_coverage.json
 
 # bench-recovery is the recovery-latency smoke: small sizes, one trial,
 # schema-validated BENCH_recovery.json (the benchrunner validates before
@@ -55,4 +65,5 @@ ci:
 	$(MAKE) docs-lint
 	$(MAKE) bench-pmem
 	$(MAKE) bench-recovery
+	$(MAKE) bench-batching
 	$(MAKE) telemetry-smoke

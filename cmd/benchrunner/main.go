@@ -25,6 +25,7 @@ func main() {
 		list       = flag.Bool("list", false, "list available experiments")
 		substrate  = flag.Bool("substrate", false, "measure the pmem substrate microbenchmarks instead of a figure")
 		subOps     = flag.Int("substrate-ops", 0, "operations per substrate data point (0: default)")
+		batchOps   = flag.Int("batch-ops", 0, "ambient write-combining policy, ops per group sync: adds mode:\"batched\" substrate points, applies to figure runs (0: off)")
 		recMode    = flag.Bool("recovery", false, "measure post-crash recovery latency instead of a figure")
 		recSizes   = flag.String("recovery-sizes", "4096,32768", "comma-separated structure sizes for -recovery")
 		recWorkers = flag.String("recovery-workers", "1,2,4,8", "comma-separated engine worker counts for -recovery")
@@ -54,7 +55,7 @@ func main() {
 	}
 
 	if *substrate {
-		rep := bench.Substrate(ths, *subOps)
+		rep := bench.SubstrateBatch(ths, *subOps, *batchOps)
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -129,7 +130,7 @@ func main() {
 			"       benchrunner -recovery [-recovery-sizes 4096,32768] [-recovery-workers 1,2,4,8] [-out BENCH_recovery.json]")
 		os.Exit(2)
 	}
-	opts := bench.Options{Threads: ths, Duration: *duration, Seed: *seed}
+	opts := bench.Options{Threads: ths, Duration: *duration, Seed: *seed, BatchOps: *batchOps}
 
 	var reg *telemetry.Registry
 	if *teleOut != "" {

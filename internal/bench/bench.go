@@ -89,6 +89,11 @@ type Config struct {
 	// TrackingNoReadOnlyOpt disables the paper's read-only optimization
 	// in the Tracking list (ablation).
 	TrackingNoReadOnlyOpt bool
+	// BatchOps, when positive, installs an ambient write-combining policy
+	// on the pool (pmem.SetBatchPolicy): up to BatchOps operations share
+	// one group psync and duplicate line flushes merge across them. The
+	// opt-in batched-op mode; 0 keeps the per-instruction cost model.
+	BatchOps int
 	// Telemetry, when non-nil, observes the run: the registry is attached
 	// to the pool as its persistence sink (after preloading, so it sees
 	// only the measured phase), every operation's latency is recorded into
@@ -120,6 +125,32 @@ type opRunner interface {
 type instance struct {
 	pool   *pmem.Pool
 	runner func(tid int) opRunner
+
+	// Every ThreadCtx handed to a runner, so the harness can Retire them
+	// after the measured phase: a batched run may hold deferred flush
+	// charges and a pending group sync when the stop flag trips, and those
+	// must drain into the final Stats snapshot.
+	mu   sync.Mutex
+	ctxs []*pmem.ThreadCtx
+}
+
+// newThread creates and tracks a thread context.
+func (inst *instance) newThread(tid int) *pmem.ThreadCtx {
+	ctx := inst.pool.NewThread(tid)
+	inst.mu.Lock()
+	inst.ctxs = append(inst.ctxs, ctx)
+	inst.mu.Unlock()
+	return ctx
+}
+
+// retireAll drains every tracked context's write-combining buffer. A no-op
+// per context when nothing is deferred (every unbatched run).
+func (inst *instance) retireAll() {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	for _, ctx := range inst.ctxs {
+		ctx.Retire()
+	}
 }
 
 // build constructs the algorithm under test on a fresh fast-mode pool.
@@ -141,32 +172,32 @@ func build(cfg Config) (*instance, error) {
 		if cfg.TrackingNoReadOnlyOpt {
 			l.SetReadOnlyOpt(false)
 		}
-		inst.runner = func(tid int) opRunner { return l.Handle(pool.NewThread(tid)) }
+		inst.runner = func(tid int) opRunner { return l.Handle(inst.newThread(tid)) }
 	case AlgoTrackingBST:
 		tr := rbst.New(pool, cfg.Threads+1, 0)
-		inst.runner = func(tid int) opRunner { return tr.Handle(pool.NewThread(tid)) }
+		inst.runner = func(tid int) opRunner { return tr.Handle(inst.newThread(tid)) }
 	case AlgoTrackingMap:
 		m := rhash.New(pool, 64, cfg.Threads+1, 0)
-		inst.runner = func(tid int) opRunner { return m.Handle(pool.NewThread(tid)) }
+		inst.runner = func(tid int) opRunner { return m.Handle(inst.newThread(tid)) }
 	case AlgoCapsules:
 		l := capsules.New(pool, capsules.VariantFull, cfg.Threads+1, 0)
-		inst.runner = func(tid int) opRunner { return l.Handle(pool.NewThread(tid)) }
+		inst.runner = func(tid int) opRunner { return l.Handle(inst.newThread(tid)) }
 	case AlgoCapsulesOpt:
 		l := capsules.New(pool, capsules.VariantOpt, cfg.Threads+1, 0)
-		inst.runner = func(tid int) opRunner { return l.Handle(pool.NewThread(tid)) }
+		inst.runner = func(tid int) opRunner { return l.Handle(inst.newThread(tid)) }
 	case AlgoHarris:
 		l := capsules.New(pool, capsules.VariantNone, cfg.Threads+1, 0)
-		inst.runner = func(tid int) opRunner { return l.Handle(pool.NewThread(tid)) }
+		inst.runner = func(tid int) opRunner { return l.Handle(inst.newThread(tid)) }
 	case AlgoRomulus:
 		// The TM region is a fraction of the arena (it is duplicated).
 		tm := romulus.NewTM(pool, words/8, cfg.Threads+1, 0)
-		l := romulus.NewList(tm, pool.NewThread(0))
+		l := romulus.NewList(tm, inst.newThread(0))
 		inst.runner = func(tid int) opRunner {
-			return &romulusRunner{tm: tm, l: l, ctx: pool.NewThread(tid)}
+			return &romulusRunner{tm: tm, l: l, ctx: inst.newThread(tid)}
 		}
 	case AlgoRedoOpt:
 		s := redolog.New(pool, words/8, cfg.Threads+1, 0)
-		inst.runner = func(tid int) opRunner { return s.Handle(pool.NewThread(tid)) }
+		inst.runner = func(tid int) opRunner { return s.Handle(inst.newThread(tid)) }
 	default:
 		return nil, fmt.Errorf("bench: unknown algorithm %q", cfg.Algo)
 	}
@@ -194,6 +225,12 @@ func (r *romulusRunner) Find(key int64) bool { return r.l.Find(r.ctx, key) }
 func applySiteConfig(pool *pmem.Pool, cfg Config) {
 	if cfg.DisablePsync {
 		pool.SetPsyncEnabled(false)
+	}
+	if cfg.BatchOps > 0 {
+		pool.SetBatchPolicy(pmem.BatchConfig{
+			MaxOps:   cfg.BatchOps,
+			MaxLines: 4 * cfg.BatchOps,
+		})
 	}
 	if cfg.DisableAllPWBs {
 		pool.SetAllSitesEnabled(false)
@@ -336,6 +373,11 @@ func Run(cfg Config) (Result, error) {
 	stop.Store(true)
 	wg.Wait()
 	elapsed := time.Since(start)
+
+	// Drain any write-combining buffers left open by a batched run before
+	// snapshotting, so deferred charges and the trailing group sync are
+	// accounted to the measured phase.
+	inst.retireAll()
 
 	st := inst.pool.Snapshot().Sub(base)
 

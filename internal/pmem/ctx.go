@@ -43,16 +43,32 @@ type ThreadCtx struct {
 	teleTouched []Site      // sites with a non-zero telePend entry
 	teleBuf     []SiteStall // reusable argument buffer for TelemetryPSync
 
+	// Write-combining batch state, owner-only (see batch.go). batchDepth
+	// counts BeginBatch nesting (0 = no open epoch); wcLines holds the
+	// distinct lines recorded in the open epoch; wcOps the deferred group
+	// psyncs; autoBatch is the generation-cached copy of the pool's
+	// ambient batch policy.
+	batchDepth int
+	batchCfg   BatchConfig
+	wcLines    []int
+	wcOps      int
+	autoBatch  BatchConfig
+	autoOpened bool // the open epoch came from the ambient policy
+
 	// Counters. The owner updates each with one uncontended atomic add
 	// (its line stays exclusive in the owner's cache); Stats snapshots
 	// read them while the run is in flight, hence the atomics. The pad
 	// keeps another heap object's hot fields off the counters' lines.
-	_          [64]byte
-	pwbPerSite []atomic.Uint64 // header swapped only by the owner, see countPWB
-	psyncs     atomic.Uint64
-	pfences    atomic.Uint64
-	spun       atomic.Uint64 // total simulated spin units charged
-	_          [64]byte
+	_            [64]byte
+	pwbPerSite   []atomic.Uint64 // header swapped only by the owner, see countPWB
+	psyncs       atomic.Uint64
+	pfences      atomic.Uint64
+	spun         atomic.Uint64 // total simulated spin units charged
+	pwbsDeferred atomic.Uint64 // write-backs recorded into the WC buffer
+	pwbsMerged   atomic.Uint64 // of those, duplicates merged (charges eliminated)
+	psyncsMerged atomic.Uint64 // psyncs absorbed into a group sync
+	batchDrains  atomic.Uint64 // write-combining drains executed
+	_            [64]byte
 }
 
 // NewThread creates the ThreadCtx for thread id tid. Ids must be unique and
@@ -66,6 +82,7 @@ func (p *Pool) NewThread(tid int) *ThreadCtx {
 	p.mu.Lock()
 	ctx.pwbPerSite = make([]atomic.Uint64, len(p.sites))
 	ctx.sink = p.telemetry
+	ctx.autoBatch = p.batchPolicy
 	p.ctxs = append(p.ctxs, ctx)
 	p.mu.Unlock()
 	return ctx
@@ -265,7 +282,14 @@ func (ctx *ThreadCtx) PWB(s Site, a Addr) {
 	line := wi / LineWords
 	stall := 0
 	if p.mode == ModeStrict {
+		// Strict mode never defers: capture at the record point keeps the
+		// crash-state space identical with batching on or off (batch.go).
 		ctx.captureLine(line)
+		if ctx.batchDepth > 0 || (ctx.autoBatch.Active() && ctx.autoBatchOpen()) {
+			ctx.recordWCLine(line)
+		}
+	} else if ctx.batchDepth > 0 || (ctx.autoBatch.Active() && ctx.autoBatchOpen()) {
+		ctx.deferPWB(line)
 	} else {
 		stall = ctx.chargePWB(line)
 	}
@@ -295,6 +319,11 @@ func (ctx *ThreadCtx) PWBRange(s Site, a Addr, words int) {
 		stall := 0
 		if p.mode == ModeStrict {
 			ctx.captureLine(line)
+			if ctx.batchDepth > 0 || (ctx.autoBatch.Active() && ctx.autoBatchOpen()) {
+				ctx.recordWCLine(line)
+			}
+		} else if ctx.batchDepth > 0 || (ctx.autoBatch.Active() && ctx.autoBatchOpen()) {
+			ctx.deferPWB(line)
 		} else {
 			stall = ctx.chargePWB(line)
 		}
@@ -405,10 +434,19 @@ func (ctx *ThreadCtx) PSync() {
 		// The "no psync" experiments remove the instruction from the
 		// code; in ModeStrict we still commit pending write-backs so
 		// that correctness tests cannot be run in a silently broken
-		// configuration (the flag is a benchmarking device).
+		// configuration (the flag is a benchmarking device). The same
+		// invariant extends to batching: a strict-mode commit leaves
+		// nothing deferred, so the write-combining bookkeeping drains
+		// with it (a disabled psync must never strand buffered lines).
 		if p.mode == ModeStrict {
 			ctx.commitPending()
+			ctx.drainWC(false)
 		}
+		return
+	}
+	if p.mode == ModeFast &&
+		(ctx.batchDepth > 0 || (ctx.autoBatch.Active() && ctx.autoBatchOpen())) {
+		ctx.deferPSync()
 		return
 	}
 	ctx.psyncs.Add(1)
@@ -419,6 +457,9 @@ func (ctx *ThreadCtx) PSync() {
 		} else {
 			ctx.commitPending()
 		}
+		// An explicit strict-mode psync drains the record-only
+		// write-combining bookkeeping: everything captured is now durable.
+		ctx.drainWC(false)
 	case ModeFast:
 		spin(p.cost.PSyncCost)
 		ctx.spun.Add(uint64(p.cost.PSyncCost))

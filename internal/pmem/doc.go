@@ -55,6 +55,25 @@
 //     writer of one (an allocating thread, a crash trigger, a site
 //     reconfiguration) does not invalidate the others in every cache.
 //
+// # Cross-operation batching
+//
+// A thread may open a write-combining epoch (BeginBatch/EndBatch), or a
+// pool may install an ambient one (SetBatchPolicy). Inside an epoch,
+// ModeFast defers flush charges into a per-thread buffer that merges
+// duplicate lines across operations and absorbs the epoch's psyncs into
+// one group sync; ModeStrict defers nothing — write-backs are still
+// captured at PWB time and committed at PSync time — so the reachable
+// durable states are unchanged (see batch.go for the full invariant set).
+//
+// Batching composes with the psync switch in one fixed order: a disabled
+// PSync (SetPsyncEnabled(false)) never joins or extends an epoch, and in
+// strict mode it still commits the pending write-backs immediately and
+// resets the thread's write-combining bookkeeping — durability is never
+// deferred just because a batch is open. In fast mode the deferred line
+// charges still drain at epoch close; only the sync cost disappears.
+// TestBatchedPsyncDisabledStillDrainsInStrictMode and its fast-mode twin
+// pin this down.
+//
 // # Crash and site APIs
 //
 // Crash freezes the pool (every thread panics with ErrCrashed at its next

@@ -132,6 +132,7 @@ func (ctx *ThreadCtx) refreshSites() {
 	p.mu.Lock()
 	ctx.siteBits = append(ctx.siteBits[:0], p.enabledBits...)
 	ctx.sink = p.telemetry
+	ctx.autoBatch = p.batchPolicy
 	ctx.siteGen = p.genLocked
 	p.mu.Unlock()
 }
@@ -144,6 +145,18 @@ type Stats struct {
 	PSyncs     uint64
 	PFences    uint64
 	SpinUnits  uint64 // ModeFast: total simulated persistence latency charged
+
+	// Write-combining batch counters (batch.go). PWBs counts every
+	// *recorded* write-back (batched or not — the record point is
+	// batching-invariant); the charges that actually executed number
+	// PWBs - PWBsMerged. PSyncs likewise counts executed syncs only, so
+	// a batched run shows PSyncs shrinking as PSyncsMerged grows. In
+	// ModeStrict the deferred/merged counters are advisory (they measure
+	// the merge opportunity; no charge exists to eliminate).
+	PWBsDeferred uint64 // write-backs recorded into a write-combining buffer
+	PWBsMerged   uint64 // of those, duplicate lines merged (charges eliminated)
+	PSyncsMerged uint64 // psyncs absorbed into a group sync
+	BatchDrains  uint64 // write-combining drains executed
 }
 
 // Snapshot sums the counters of all thread contexts created since the pool
@@ -170,6 +183,10 @@ func (p *Pool) Snapshot() Stats {
 		st.PSyncs += ctx.psyncs.Load()
 		st.PFences += ctx.pfences.Load()
 		st.SpinUnits += ctx.spun.Load()
+		st.PWBsDeferred += ctx.pwbsDeferred.Load()
+		st.PWBsMerged += ctx.pwbsMerged.Load()
+		st.PSyncsMerged += ctx.psyncsMerged.Load()
+		st.BatchDrains += ctx.batchDrains.Load()
 	}
 	return st
 }
@@ -187,11 +204,15 @@ func (st Stats) Sub(base Stats) Stats {
 		return a - b
 	}
 	d := Stats{
-		PWBsBySite: make(map[string]uint64, len(st.PWBsBySite)),
-		PWBs:       sub(st.PWBs, base.PWBs),
-		PSyncs:     sub(st.PSyncs, base.PSyncs),
-		PFences:    sub(st.PFences, base.PFences),
-		SpinUnits:  sub(st.SpinUnits, base.SpinUnits),
+		PWBsBySite:   make(map[string]uint64, len(st.PWBsBySite)),
+		PWBs:         sub(st.PWBs, base.PWBs),
+		PSyncs:       sub(st.PSyncs, base.PSyncs),
+		PFences:      sub(st.PFences, base.PFences),
+		SpinUnits:    sub(st.SpinUnits, base.SpinUnits),
+		PWBsDeferred: sub(st.PWBsDeferred, base.PWBsDeferred),
+		PWBsMerged:   sub(st.PWBsMerged, base.PWBsMerged),
+		PSyncsMerged: sub(st.PSyncsMerged, base.PSyncsMerged),
+		BatchDrains:  sub(st.BatchDrains, base.BatchDrains),
 	}
 	for k, v := range st.PWBsBySite {
 		if dv := sub(v, base.PWBsBySite[k]); dv > 0 {
