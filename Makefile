@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench-pmem bench-recovery bench-batching sweep docs-lint telemetry-smoke ci
+.PHONY: all build test race bench-pmem bench-alloc bench-recovery bench-batching sweep docs-lint telemetry-smoke ci
 
 all: build
 
@@ -19,6 +19,13 @@ race:
 bench-pmem:
 	$(GO) run ./cmd/benchrunner -substrate -threads 1,2,4,8,16 -batch-ops 8 -out BENCH_pmem.json
 	@cat BENCH_pmem.json
+
+# bench-alloc smokes the allocator churn comparison: the internal/rmm
+# free-stack against the bitmap-scan design it replaced, at fixed
+# occupancies (see docs/allocator.md). The full matrix rides along in
+# BENCH_pmem.json via bench-pmem; this target is the quick standalone run.
+bench-alloc:
+	$(GO) run ./cmd/benchrunner -alloc -threads 1,4 -substrate-ops 500000
 
 # bench-batching smokes the cross-operation batching layer: a short batched
 # substrate run (mode:"batched" points must show executed flush/sync counts
@@ -64,6 +71,7 @@ ci:
 	$(GO) test -race ./...
 	$(MAKE) docs-lint
 	$(MAKE) bench-pmem
+	$(MAKE) bench-alloc
 	$(MAKE) bench-recovery
 	$(MAKE) bench-batching
 	$(MAKE) telemetry-smoke

@@ -24,6 +24,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "workload seed")
 		list       = flag.Bool("list", false, "list available experiments")
 		substrate  = flag.Bool("substrate", false, "measure the pmem substrate microbenchmarks instead of a figure")
+		allocOnly  = flag.Bool("alloc", false, "measure only the allocator churn points (free-stack vs bitmap-scan)")
 		subOps     = flag.Int("substrate-ops", 0, "operations per substrate data point (0: default)")
 		batchOps   = flag.Int("batch-ops", 0, "ambient write-combining policy, ops per group sync: adds mode:\"batched\" substrate points, applies to figure runs (0: off)")
 		recMode    = flag.Bool("recovery", false, "measure post-crash recovery latency instead of a figure")
@@ -54,8 +55,13 @@ func main() {
 		ths = append(ths, n)
 	}
 
-	if *substrate {
-		rep := bench.SubstrateBatch(ths, *subOps, *batchOps)
+	if *substrate || *allocOnly {
+		var rep bench.SubstrateReport
+		if *allocOnly {
+			rep = bench.AllocChurnReport(ths, *subOps)
+		} else {
+			rep = bench.SubstrateBatch(ths, *subOps, *batchOps)
+		}
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

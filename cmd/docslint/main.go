@@ -8,9 +8,9 @@
 //	docslint [package-dir ...]
 //
 // With no arguments it checks the default policy set: internal/chaos (and
-// its sweep subpackage), internal/histcheck, internal/tracking and
-// internal/pmem. Exit status 1 lists every undocumented symbol as
-// file:line: name.
+// its sweep subpackage), internal/histcheck, internal/tracking,
+// internal/pmem, internal/telemetry, internal/recovery and internal/rmm.
+// Exit status 1 lists every undocumented symbol as file:line: name.
 package main
 
 import (
@@ -33,6 +33,8 @@ var defaultDirs = []string{
 	"internal/tracking",
 	"internal/pmem",
 	"internal/telemetry",
+	"internal/recovery",
+	"internal/rmm",
 }
 
 func main() {

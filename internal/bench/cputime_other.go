@@ -1,0 +1,7 @@
+//go:build !linux
+
+package bench
+
+// cpuTimeNow reports that no process CPU clock is available; callers fall
+// back to wall-clock timing.
+func cpuTimeNow() (int64, bool) { return 0, false }

@@ -29,7 +29,6 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
-	"time"
 
 	"repro/internal/pmem"
 	"repro/internal/recovery"
@@ -405,7 +404,9 @@ func recoveryTrialRMM(size, workers, threads int, seed int64, reg *telemetry.Reg
 		CapacityWords: capacity,
 		MaxThreads:    threads + 2 + workers,
 	})
-	a := rmm.New(pool, 8, size, 0)
+	// Grow through 8 chunks so attach/recovery exercise the multi-chunk
+	// directory walk, not just a single-arena bitmap.
+	a := rmm.NewGrowable(pool, 8, size/8, 8, 0)
 	h := a.Handle(pool.NewThread(0))
 	addrs := make([]pmem.Addr, 0, size)
 	for i := 0; i < size; i++ {
@@ -431,16 +432,14 @@ func recoveryTrialRMM(size, workers, threads int, seed int64, reg *telemetry.Reg
 	pool.Recover()
 
 	eng := recovery.New(recovery.Config{Workers: workers, BaseTID: threads + 2, Telemetry: reg})
-	start := time.Now()
-	a2, err := rmm.Attach(pool, 0)
+	// Attach is no longer just header reconstruction: it rebuilds every
+	// chunk's free-stack from its bitmap. AttachParallel partitions that
+	// rebuild chunk-per-task, and the engine's work accounting scales it
+	// like any other phase.
+	a2, err := rmm.AttachParallel(pool, 0, eng)
 	if err != nil {
 		return s, err
 	}
-	// Attach is serial header reconstruction; account it as one item so
-	// the model keeps it unscaled.
-	s.wall[recovery.PhaseAttach] = time.Since(start).Nanoseconds()
-	s.items[recovery.PhaseAttach] = 1
-	s.span[recovery.PhaseAttach] = 1
 
 	shards := rmm.ShardAddrs(reachable, 4*workers)
 	if err := a2.RecoverGCParallel(eng, shards); err != nil {

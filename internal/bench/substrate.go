@@ -167,6 +167,7 @@ func SubstrateBatch(goroutines []int, opsPerPoint, batchOps int) SubstrateReport
 		}
 	}
 	rep.Points = append(rep.Points, commitPathPoints(opsPerPoint, batchOps)...)
+	rep.Points = append(rep.Points, allocChurnPoints(goroutines, opsPerPoint)...)
 	return rep
 }
 

@@ -32,6 +32,16 @@ const (
 // the offered value (unique per operation).
 const KindExchange = 0
 
+// Operation kinds of the allocator adapter (rmm): Op.Key selects the
+// thread-private slot the operation targets. KindAlloc allocates a block
+// into the slot if it is empty; KindFree frees the slot's block if it
+// holds one. Both are no-ops (recorded as busy/empty) otherwise, which
+// keeps every operation idempotently re-runnable by the recovery path.
+const (
+	KindAlloc = iota
+	KindFree
+)
+
 // b2u converts a boolean response to the uint64 the harness records.
 func b2u(b bool) uint64 {
 	if b {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/rexchanger"
 	"repro/internal/rhash"
 	"repro/internal/rlist"
+	"repro/internal/rmm"
 	"repro/internal/rqueue"
 	"repro/internal/rstack"
 )
@@ -458,6 +459,40 @@ func init() {
 		},
 	})
 
+	RegisterAdapter(&Adapter{
+		Name: "rmm", SitePrefix: "rmm", MinThreads: 1, DefaultSweep: true,
+		Setup:    rmmSetup,
+		Reattach: rmmReattach,
+		GenOp:    rmmGenOp,
+		Validate: func(pool *pmem.Pool, res *chaos.Result) error {
+			a, err := rmm.Attach(pool, 0)
+			if err != nil {
+				return err
+			}
+			return rmmValidate(pool, a, nil, res)
+		},
+		ReattachParallel: func(pool *pmem.Pool, eng *recovery.Engine) (chaos.ThreadFactory, error) {
+			a, err := rmm.AttachParallel(pool, 0, eng)
+			if err != nil {
+				return nil, err
+			}
+			return rmmFactory(pool, a), nil
+		},
+		// The parallel path fans the read-only phases (free-stack rebuild,
+		// in-use count) across the engine; the durable-writing RecoverGC
+		// stays serial in BOTH paths so the task's persistence metrics are
+		// identical and the -compare gate can hold serial ≡ parallel to
+		// byte equality. RecoverGCParallel's own serial-equivalence is
+		// pinned by the rmm package's 100-seed durable-byte tests.
+		ValidateParallel: func(pool *pmem.Pool, eng *recovery.Engine, res *chaos.Result) error {
+			a, err := rmm.AttachParallel(pool, 0, eng)
+			if err != nil {
+				return err
+			}
+			return rmmValidate(pool, a, eng, res)
+		},
+	})
+
 	for _, v := range []struct {
 		name, prefix string
 		variant      capsules.Variant
@@ -561,4 +596,220 @@ func (e exchThread) Run(op chaos.Op) uint64 {
 func (e exchThread) Recover(op chaos.Op) uint64 {
 	v, _ := e.h.RecoverExchange(uint64(op.Key), exchSpins)
 	return v
+}
+
+// The rmm adapter sweeps the allocator itself: each thread owns a table
+// of persistent slots, KindAlloc fills a slot with a freshly allocated
+// block and KindFree empties it, and validation replays the slots as the
+// reachable set through RecoverGC. The slot protocol carries the
+// detectability argument: a block's bitmap bit is durable before its
+// address is published to a slot, and a slot is durably cleared before
+// its block is freed, so a crash anywhere leaves at worst a leaked block
+// (bit set, no slot) — never a block owned twice. The workload's opening
+// allocation ramp outgrows the first chunk, putting the grow path's
+// persist points (rmm/pwb-chunk-dir, rmm/pwb-chunk-count) in the profile
+// so the sweep crashes mid-grow.
+const (
+	rmmSlotSite       = "rmm/pwb-slot"
+	rmmSlotsPerThread = 48
+	rmmChunkBlocks    = 16
+	rmmBlockWords     = 4
+	rmmMaxChunks      = 32
+	rmmRampOps        = 24 // > rmmChunkBlocks: forces a grow in the profile
+	// rmmFreeFailed is the log sentinel for a Free the allocator rejected
+	// (double free / bogus address) — validation turns it into a violation.
+	rmmFreeFailed = ^uint64(0)
+)
+
+// rmmSetup creates the growable allocator (root slot 0) and the
+// per-thread slot tables: base address in root slot 1, total slot count
+// in root slot 2. Bootstrap persists use pmem.NoSite so the profile sees
+// only workload-reachable hits.
+func rmmSetup(pool *pmem.Pool, maxThreads int) {
+	rmm.NewGrowable(pool, rmmBlockWords, rmmChunkBlocks, rmmMaxChunks, 0)
+	boot := pool.NewThread(0)
+	pool.RegisterSite(rmmSlotSite)
+	nSlots := maxThreads * rmmSlotsPerThread
+	base := boot.AllocWords(nSlots)
+	boot.Store(pool.RootSlot(1), uint64(base))
+	boot.Store(pool.RootSlot(2), uint64(nSlots))
+	boot.PWB(pmem.NoSite, pool.RootSlot(1))
+	boot.PWB(pmem.NoSite, pool.RootSlot(2))
+	boot.PSync()
+}
+
+// rmmFactory builds the thread factory over an attached allocator.
+func rmmFactory(pool *pmem.Pool, a *rmm.Allocator) chaos.ThreadFactory {
+	base := pmem.Addr(pool.NewThread(0).Load(pool.RootSlot(1)))
+	site := pool.RegisterSite(rmmSlotSite)
+	return func(tid int) (chaos.Thread, error) {
+		ctx := pool.NewThread(tid)
+		return rmmThread{
+			h: a.Handle(ctx), ctx: ctx, site: site,
+			slots: base + pmem.Addr(tid*rmmSlotsPerThread*pmem.WordSize),
+		}, nil
+	}
+}
+
+// rmmReattach rebuilds the allocator and thread handles after recovery.
+func rmmReattach(pool *pmem.Pool) (chaos.ThreadFactory, error) {
+	a, err := rmm.Attach(pool, 0)
+	if err != nil {
+		return nil, err
+	}
+	return rmmFactory(pool, a), nil
+}
+
+// rmmGenOp opens with a deterministic allocation ramp (slots 0..23, which
+// overflows the 16-block first chunk and drives a grow), then settles
+// into alloc-heavy random churn over the thread's slots.
+func rmmGenOp(rng *rand.Rand, tid, i int) chaos.Op {
+	if i < rmmRampOps {
+		return chaos.Op{Kind: chaos.KindAlloc, Key: int64(i % rmmSlotsPerThread)}
+	}
+	kind := chaos.KindAlloc
+	if rng.Intn(10) < 3 {
+		kind = chaos.KindFree
+	}
+	return chaos.Op{Kind: kind, Key: int64(rng.Intn(rmmSlotsPerThread))}
+}
+
+// rmmThread adapts an allocator handle plus its persistent slot table to
+// the harness Thread interface. Alloc records the block address it
+// published (or the occupying block's address when the slot was busy, 0
+// when the arena was exhausted); Free records 1 (freed, or already
+// empty) or the rmmFreeFailed sentinel.
+type rmmThread struct {
+	h     *rmm.Handle
+	ctx   *pmem.ThreadCtx
+	slots pmem.Addr
+	site  pmem.Site
+}
+
+// Invoke is a no-op: the slot protocol itself records enough state to
+// recover every operation, so there is no separate invocation step.
+func (t rmmThread) Invoke() {}
+
+// slotAddr returns the persistent address of the thread's slot s.
+func (t rmmThread) slotAddr(s int64) pmem.Addr {
+	return t.slots + pmem.Addr(int(s)*pmem.WordSize)
+}
+
+func (t rmmThread) Run(op chaos.Op) uint64 {
+	slot := t.slotAddr(op.Key)
+	cur := t.ctx.Load(slot)
+	if op.Kind == chaos.KindAlloc {
+		if cur != 0 {
+			return cur // busy: the slot already holds a block
+		}
+		b := t.h.Alloc()
+		if b == pmem.Null {
+			return 0 // arena exhausted
+		}
+		// The block's bitmap bit is already durable (Alloc's contract);
+		// publishing its address second means a crash between the two
+		// leaks the block instead of double-owning it.
+		t.ctx.Store(slot, uint64(b))
+		t.ctx.PWB(t.site, slot)
+		t.ctx.PSync()
+		return uint64(b)
+	}
+	if cur == 0 {
+		return 1 // already empty
+	}
+	// Durably disown the block before freeing it: once the bit clears,
+	// another thread may re-allocate the block, so the slot must already
+	// be empty at that point or recovery could free it twice.
+	t.ctx.Store(slot, 0)
+	t.ctx.PWB(t.site, slot)
+	t.ctx.PSync()
+	if err := t.h.Free(pmem.Addr(cur)); err != nil {
+		return rmmFreeFailed
+	}
+	return 1
+}
+
+func (t rmmThread) Recover(op chaos.Op) uint64 {
+	slot := t.slotAddr(op.Key)
+	cur := t.ctx.Load(slot)
+	if op.Kind == chaos.KindAlloc {
+		if cur != 0 {
+			return cur // the publish committed (or the slot was busy all along)
+		}
+		// No published block: either the crash hit before the bitmap bit
+		// committed (block free again) or between bit and publish (block
+		// leaked; RecoverGC reclaims it). Re-running is safe either way.
+		return t.Run(op)
+	}
+	if cur == 0 {
+		return 1 // the disown committed; at worst the block leaked
+	}
+	// The slot-clear never committed, so the free never started on the
+	// durable side: re-run the whole free.
+	return t.Run(op)
+}
+
+// rmmValidate audits a finished allocator run: every occupied slot must
+// hold a distinct valid block, RecoverGC over the slots-as-roots must
+// reclaim all crash leaks without restoring a single mark (a restored
+// mark would mean a published block whose bitmap bit never committed —
+// a broken persist order), and the rebuilt allocator must satisfy its
+// volatile/durable invariants. With an engine, the read-only phases ran
+// parallel (AttachParallel upstream, InUseParallel here); the verdict
+// and the persistence-instruction counts are identical either way.
+func rmmValidate(pool *pmem.Pool, a *rmm.Allocator, eng *recovery.Engine, res *chaos.Result) error {
+	boot := pool.NewThread(0)
+	for tidIdx, log := range res.Logs {
+		for i, rec := range log {
+			if rec.Result == rmmFreeFailed {
+				return fmt.Errorf("thread %d op %d: allocator rejected a tracked free (double free or bogus address)", tidIdx+1, i)
+			}
+		}
+	}
+	base := pmem.Addr(boot.Load(pool.RootSlot(1)))
+	nSlots := int(boot.Load(pool.RootSlot(2)))
+	owner := make(map[pmem.Addr]int, nSlots)
+	live := make([]pmem.Addr, 0, nSlots)
+	for s := 0; s < nSlots; s++ {
+		v := boot.Load(base + pmem.Addr(s*pmem.WordSize))
+		if v == 0 {
+			continue
+		}
+		b := pmem.Addr(v)
+		if !a.Owns(b) {
+			return fmt.Errorf("slot %d holds %#x, not a block address", s, v)
+		}
+		if prev, dup := owner[b]; dup {
+			return fmt.Errorf("block %#x owned by slots %d and %d (double allocation)", v, prev, s)
+		}
+		owner[b] = s
+		live = append(live, b)
+	}
+	err := a.RecoverGC(boot, func(visit func(pmem.Addr) error) error {
+		for _, b := range live {
+			if err := visit(b); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	st := a.Stats()
+	if st.MarksRestored != 0 {
+		return fmt.Errorf("%d published blocks had no durable bitmap bit (persist order broken)", st.MarksRestored)
+	}
+	inUse := 0
+	if eng != nil {
+		if inUse, err = a.InUseParallel(eng); err != nil {
+			return err
+		}
+	} else {
+		inUse = a.InUse(boot)
+	}
+	if inUse != len(live) {
+		return fmt.Errorf("post-GC in-use %d, want %d live slots (leak reclamation failed)", inUse, len(live))
+	}
+	return a.CheckInvariants(boot)
 }

@@ -215,8 +215,8 @@ func TestSweepAllStructures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Structures) != 6 {
-		t.Fatalf("swept %d structures, want 6", len(rep.Structures))
+	if len(rep.Structures) != 7 {
+		t.Fatalf("swept %d structures, want 7", len(rep.Structures))
 	}
 	for _, r := range rep.Results {
 		if r.Violation != "" || r.Error != "" {

@@ -122,6 +122,16 @@ func (ctx *ThreadCtx) AllocLines(n int) Addr {
 	return ctx.pool.allocLines(n)
 }
 
+// TryAllocLines allocates n whole cache lines like AllocLines but reports
+// exhaustion instead of panicking, so growable arenas (internal/rmm) can
+// stop growing gracefully when the pool runs out. On failure the reserved
+// words are rolled back when no later reservation raced in; racing
+// failures leak their overshoot, which is harmless — the arena is full.
+func (ctx *ThreadCtx) TryAllocLines(n int) (Addr, bool) {
+	ctx.pool.checkCrash()
+	return ctx.pool.tryAllocLines(n)
+}
+
 // localChunkWords is the refill size of the per-thread allocation cache.
 const localChunkWords = 1024
 

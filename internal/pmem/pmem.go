@@ -319,6 +319,24 @@ func (p *Pool) allocLines(n int) Addr {
 	return Addr(start * WordSize)
 }
 
+// tryAllocLines is allocLines with exhaustion reported instead of raised.
+// It shares the reservation/rollback discipline of allocFailed: the CAS
+// rollback only succeeds while no later reservation happened, so it never
+// frees words a subsequent allocation claimed.
+func (p *Pool) tryAllocLines(n int) (Addr, bool) {
+	if n <= 0 {
+		panic("pmem: allocLines of non-positive size")
+	}
+	need := uint64(n*LineWords + LineWords - 1)
+	end := p.allocWords.Add(need)
+	if end > uint64(len(p.words)) {
+		p.allocWords.CompareAndSwap(end, end-need)
+		return Null, false
+	}
+	start := (end - need + LineWords - 1) &^ (LineWords - 1)
+	return Addr(start * WordSize), true
+}
+
 // NumRootSlots is the number of well-known root pointer slots in a pool.
 // Real persistent-memory pools expose a fixed root object from which all
 // durable data must be reachable after a restart; slots play that role here.

@@ -12,6 +12,13 @@
 // per-thread recovery functions are mutually independent and can be
 // replayed concurrently.
 //
+// The allocator (internal/rmm) is the engine's heaviest client: chunks are
+// its unit of work, so AttachParallel rebuilds per-chunk free-stacks one
+// chunk per engine task, RecoverGCParallel splits the reachability mark
+// and bitmap rebuild over per-worker splice lists with a deterministic
+// merge (serial and parallel recovery reach byte-identical durable
+// state), and InUseParallel partitions the occupancy audit the same way.
+//
 // Phase durations are accumulated per engine and, when a telemetry
 // registry is attached, recorded as latency histogram entries under the
 // recovery-* operation classes of the repro-telemetry/1 snapshot schema.

@@ -1,0 +1,371 @@
+package rmm
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/recovery"
+)
+
+// TestGrowOnDemand pins the growth policy: a growable allocator starts
+// with one chunk and grows exactly when every published chunk is
+// exhausted, up to maxChunks, after which Alloc reports Null.
+func TestGrowOnDemand(t *testing.T) {
+	pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 16, MaxThreads: 4})
+	a := NewGrowable(pool, 4, 16, 3, 0)
+	h := a.Handle(pool.NewThread(1))
+	if got := a.Stats().Chunks; got != 1 {
+		t.Fatalf("fresh growable allocator has %d chunks, want 1", got)
+	}
+	seen := map[pmem.Addr]bool{}
+	for i := 0; i < 48; i++ {
+		b := h.Alloc()
+		if b == pmem.Null {
+			t.Fatalf("alloc %d failed with growth headroom left", i)
+		}
+		if seen[b] {
+			t.Fatalf("alloc %d returned duplicate block %#x", i, uint64(b))
+		}
+		seen[b] = true
+	}
+	if st := a.Stats(); st.Chunks != 3 || st.Grows != 3 {
+		t.Fatalf("after filling 3 chunks: chunks=%d grows=%d, want 3/3", st.Chunks, st.Grows)
+	}
+	if b := h.Alloc(); b != pmem.Null {
+		t.Fatalf("alloc beyond maxChunks returned %#x, want Null", uint64(b))
+	}
+}
+
+// TestShrinkReactivate pins the shrink policy: when churn drains the
+// arena, a fully free chunk is retired (volatile dormancy only — durable
+// state untouched), and renewed demand reactivates it before any grow.
+func TestShrinkReactivate(t *testing.T) {
+	pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 16, MaxThreads: 4})
+	a := NewGrowable(pool, 4, 16, 4, 0)
+	a.SetShrinkPolicy(75)
+	h := a.Handle(pool.NewThread(1))
+	blocks := make([]pmem.Addr, 0, 48)
+	for i := 0; i < 48; i++ {
+		blocks = append(blocks, h.Alloc())
+	}
+	for _, b := range blocks {
+		if err := h.Free(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Flush()
+	st := a.Stats()
+	if st.Shrinks == 0 || st.DormantChunks == 0 {
+		t.Fatalf("all-free arena did not shrink: %+v", st)
+	}
+	if st.FreeBlocks != st.TotalBlocks || st.LiveBlocks != 0 {
+		t.Fatalf("population accounting broken: %+v", st)
+	}
+	// Demand must reactivate dormant capacity, not grow past maxChunks.
+	for i := 0; i < 48; i++ {
+		if b := h.Alloc(); b == pmem.Null {
+			t.Fatalf("re-alloc %d failed with dormant capacity available", i)
+		}
+	}
+	st = a.Stats()
+	if st.Reactivates == 0 {
+		t.Fatalf("refill grew instead of reactivating: %+v", st)
+	}
+	if st.Chunks > 4 {
+		t.Fatalf("chunks %d exceeded maxChunks", st.Chunks)
+	}
+}
+
+// buildCrashedGrowable is buildCrashedAlloc over a growable allocator:
+// seeded churn with an alloc-heavy opening so the arena grows through
+// several chunks before the armed crash lands. Pure function of seed.
+func buildCrashedGrowable(t *testing.T, seed int64) (*pmem.Pool, []pmem.Addr) {
+	t.Helper()
+	pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 16, MaxThreads: 16})
+	a := NewGrowable(pool, 4, 32, 8, 0)
+	rng := rand.New(rand.NewSource(seed))
+	var live []pmem.Addr
+	pool.SetCrashAfter(int64(500 + rng.Intn(4000)))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil && r != pmem.ErrCrashed {
+				panic(r)
+			}
+		}()
+		h := a.Handle(pool.NewThread(1))
+		for i := 0; ; i++ {
+			if i < 80 || len(live) == 0 || rng.Float64() < 0.6 {
+				if b := h.Alloc(); b != pmem.Null {
+					live = append(live, b)
+				}
+			} else {
+				j := rng.Intn(len(live))
+				b := live[j]
+				live = append(live[:j], live[j+1:]...)
+				if err := h.Free(b); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if !pool.CrashPending() {
+		t.Fatal("workload finished without crashing")
+	}
+	pool.Crash(pmem.CrashPolicy{
+		Rng:        rand.New(rand.NewSource(seed*7 + 1)),
+		CommitProb: 0.5,
+		EvictProb:  0.3,
+	})
+	pool.Recover()
+	return pool, live
+}
+
+// TestGrowableSerialParallelIdentical is the multi-chunk version of
+// TestRecoverGCSerialParallelIdentical: 100 seeded crash states whose
+// churn crosses chunk growth, each recovered serially and in parallel,
+// requiring byte-identical durable memory and matching in-use counts.
+func TestGrowableSerialParallelIdentical(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		poolS, liveS := buildCrashedGrowable(t, seed)
+		poolP, liveP := buildCrashedGrowable(t, seed)
+		if len(liveS) != len(liveP) {
+			t.Fatalf("seed %d: rebuild not deterministic: %d vs %d live", seed, len(liveS), len(liveP))
+		}
+
+		aS, err := Attach(poolS, 0)
+		if err != nil {
+			t.Fatalf("seed %d: serial attach: %v", seed, err)
+		}
+		if err := aS.RecoverGC(poolS.NewThread(1), markFromList(liveS)); err != nil {
+			t.Fatalf("seed %d: serial RecoverGC: %v", seed, err)
+		}
+
+		eng := recovery.New(recovery.Config{Workers: 4, BaseTID: 8})
+		aP, err := AttachParallel(poolP, 0, eng)
+		if err != nil {
+			t.Fatalf("seed %d: parallel attach: %v", seed, err)
+		}
+		if err := aP.RecoverGCParallel(eng, ShardAddrs(liveP, 16)); err != nil {
+			t.Fatalf("seed %d: RecoverGCParallel: %v", seed, err)
+		}
+
+		if nS, nP := aS.InUse(poolS.NewThread(2)), mustInUseParallel(t, aP, eng); nS != nP || nS != len(liveS) {
+			t.Fatalf("seed %d: in-use serial=%d parallel=%d want %d", seed, nS, nP, len(liveS))
+		}
+		words := poolS.AllocatedWords()
+		if wp := poolP.AllocatedWords(); wp != words {
+			t.Fatalf("seed %d: allocated words %d vs %d", seed, words, wp)
+		}
+		for w := 1; w < words; w++ { // word 0 is the reserved Null address
+			addr := pmem.Addr(w * pmem.WordSize)
+			if vS, vP := poolS.DurableLoad(addr), poolP.DurableLoad(addr); vS != vP {
+				t.Fatalf("seed %d: durable word %d differs: %#x (serial) vs %#x (parallel)", seed, w, vS, vP)
+			}
+		}
+		// The volatile rebuild must agree with the durable truth too.
+		if err := aS.CheckInvariants(poolS.NewThread(2)); err != nil {
+			t.Fatalf("seed %d: serial invariants: %v", seed, err)
+		}
+		if err := aP.CheckInvariants(poolP.NewThread(2)); err != nil {
+			t.Fatalf("seed %d: parallel invariants: %v", seed, err)
+		}
+	}
+}
+
+// TestCrashMidGrow lands a crash exactly on each persist point of the
+// grow path, under the worst-case drop-all adversary. A crash before the
+// chunk-count publish must leave the durable chunk count — and every
+// later allocation — exactly as if the grow never happened; a crash after
+// it must expose the new chunk fully free.
+func TestCrashMidGrow(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		site       func(a *Allocator) pmem.Site
+		wantChunks int
+	}{
+		// The directory-entry pwb precedes the fence: dropping it hides
+		// the grow entirely.
+		{"dir-entry-dropped", func(a *Allocator) pmem.Site { return a.s.dir }, 1},
+		// The count pwb is the commit point: the trigger fires after the
+		// write-back is scheduled, and the drop-all adversary discards it,
+		// so the grow still rolls back.
+		{"count-dropped", func(a *Allocator) pmem.Site { return a.s.count }, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 16, MaxThreads: 8})
+			a := NewGrowable(pool, 4, 16, 4, 0)
+			h := a.Handle(pool.NewThread(1))
+			live := make([]pmem.Addr, 0, 16)
+			for i := 0; i < 16; i++ {
+				live = append(live, h.Alloc())
+			}
+			pool.SetCrashAtSite(tc.site(a), 1)
+			func() {
+				defer func() {
+					if r := recover(); r != nil && r != pmem.ErrCrashed {
+						panic(r)
+					}
+				}()
+				for {
+					if h.Alloc() == pmem.Null {
+						t.Error("alloc hit Null before the armed grow-site crash")
+						return
+					}
+				}
+			}()
+			if !pool.CrashPending() {
+				t.Fatal("grow never reached the armed site")
+			}
+			pool.Crash(pmem.CrashPolicy{}) // worst case: drop everything pending
+			pool.Recover()
+
+			a2, err := Attach(pool, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := a2.Stats().Chunks; got != tc.wantChunks {
+				t.Fatalf("recovered with %d chunks, want %d", got, tc.wantChunks)
+			}
+			if err := a2.RecoverGC(pool.NewThread(1), markFromList(live)); err != nil {
+				t.Fatal(err)
+			}
+			if n := a2.InUse(pool.NewThread(1)); n != len(live) {
+				t.Fatalf("in-use %d after GC, want %d", n, len(live))
+			}
+			if err := a2.CheckInvariants(pool.NewThread(1)); err != nil {
+				t.Fatal(err)
+			}
+			// The surviving arena must still be fully usable: refill the
+			// torn-grow chunk's worth of blocks and grow onward from the
+			// recovered state.
+			h2 := a2.Handle(pool.NewThread(2))
+			for i := 0; i < 32; i++ {
+				if b := h2.Alloc(); b == pmem.Null {
+					t.Fatalf("post-recovery alloc %d failed", i)
+				}
+			}
+			if st := a2.Stats(); st.Chunks < 2 {
+				t.Fatalf("post-recovery growth failed: %+v", st)
+			}
+		})
+	}
+}
+
+// TestCrashMidGrowSerialParallelIdentical replays the same mid-grow crash
+// twice and requires serial and parallel recovery to leave byte-identical
+// durable states — the grow path must not introduce any worker-count
+// dependence.
+func TestCrashMidGrowSerialParallelIdentical(t *testing.T) {
+	build := func() (*pmem.Pool, []pmem.Addr) {
+		pool := pmem.New(pmem.Config{Mode: pmem.ModeStrict, CapacityWords: 1 << 16, MaxThreads: 8})
+		a := NewGrowable(pool, 4, 16, 4, 0)
+		h := a.Handle(pool.NewThread(1))
+		live := make([]pmem.Addr, 0, 16)
+		for i := 0; i < 16; i++ {
+			live = append(live, h.Alloc())
+		}
+		pool.SetCrashAtSite(a.s.count, 1)
+		func() {
+			defer func() {
+				if r := recover(); r != nil && r != pmem.ErrCrashed {
+					panic(r)
+				}
+			}()
+			for {
+				h.Alloc()
+			}
+		}()
+		pool.Crash(pmem.CrashPolicy{})
+		pool.Recover()
+		return pool, live
+	}
+	poolS, liveS := build()
+	poolP, liveP := build()
+
+	aS, err := Attach(poolS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aS.RecoverGC(poolS.NewThread(1), markFromList(liveS)); err != nil {
+		t.Fatal(err)
+	}
+	eng := recovery.New(recovery.Config{Workers: 4, BaseTID: 4})
+	aP, err := AttachParallel(poolP, 0, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aP.RecoverGCParallel(eng, ShardAddrs(liveP, 8)); err != nil {
+		t.Fatal(err)
+	}
+	words := poolS.AllocatedWords()
+	if wp := poolP.AllocatedWords(); wp != words {
+		t.Fatalf("allocated words %d vs %d", words, wp)
+	}
+	for w := 1; w < words; w++ {
+		addr := pmem.Addr(w * pmem.WordSize)
+		if vS, vP := poolS.DurableLoad(addr), poolP.DurableLoad(addr); vS != vP {
+			t.Fatalf("durable word %d differs: %#x (serial) vs %#x (parallel)", w, vS, vP)
+		}
+	}
+}
+
+// TestConcurrentChurnRace drives concurrent Alloc/Free churn across
+// growing chunks under -race: the free-stack CASes, the handle caches,
+// the grow lock and the shrink policy must be data-race-free, every
+// handed-out block must be exclusively owned, and the final population
+// must reconcile.
+func TestConcurrentChurnRace(t *testing.T) {
+	const threads, perThread = 6, 400
+	pool := pmem.New(pmem.Config{Mode: pmem.ModeFast, CapacityWords: 1 << 18, MaxThreads: threads + 2})
+	a := NewGrowable(pool, 4, 64, 8, 0)
+	a.SetShrinkPolicy(90)
+	var wg sync.WaitGroup
+	liveCount := make([]int, threads)
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			h := a.Handle(pool.NewThread(tid + 1))
+			rng := rand.New(rand.NewSource(int64(tid)))
+			var mine []pmem.Addr
+			for i := 0; i < perThread; i++ {
+				if len(mine) == 0 || rng.Float64() < 0.55 {
+					if b := h.Alloc(); b != pmem.Null {
+						// Exclusive ownership: write a tag no one else may
+						// touch; -race plus the reconcile below catch any
+						// double allocation.
+						h.ctx.Store(b, uint64(tid)<<32|uint64(i))
+						mine = append(mine, b)
+					}
+				} else {
+					j := rng.Intn(len(mine))
+					b := mine[j]
+					mine = append(mine[:j], mine[j+1:]...)
+					if err := h.Free(b); err != nil {
+						panic(err)
+					}
+				}
+			}
+			h.Flush()
+			liveCount[tid] = len(mine)
+		}(tid)
+	}
+	wg.Wait()
+	want := 0
+	for _, n := range liveCount {
+		want += n
+	}
+	ctx := pool.NewThread(threads + 1)
+	if got := a.InUse(ctx); got != want {
+		t.Fatalf("in-use %d after churn, want %d", got, want)
+	}
+	if err := a.CheckInvariants(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

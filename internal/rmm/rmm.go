@@ -1,281 +1,672 @@
-// Package rmm is a lock-free recoverable memory manager for the simulated
-// NVMM pool — the future-work direction Section 7 of Attiya et al. (PPoPP
-// 2022) closes with ("implementing lock-free recoverable memory managers",
-// citing Makalu). The data-structure packages in this repository use a
-// bump allocator and rely on a garbage collector, exactly like the paper's
-// implementations; this package provides the missing piece for long-running
-// deployments: a fixed-size-class block allocator whose metadata survives
-// crashes.
-//
-// Design, following Makalu's offline-recovery philosophy:
-//
-//   - a persistent bitmap records which blocks are allocated; set/clear
-//     bits are persisted with pwb+psync around the linearizing CAS;
-//   - threads reserve whole chunks of blocks from a shared cursor and then
-//     allocate privately within them, so the common path touches no shared
-//     cache line;
-//   - a crash can leak blocks (bit set, block unreachable: a free whose
-//     bit-clear write-back was lost, or an allocation that never got
-//     linked into the user structure) but can never double-allocate,
-//     because the bit's write-back is drained before Alloc returns;
-//   - RecoverGC rebuilds the bitmap offline from the user's reachable
-//     blocks after a crash, reclaiming every leak.
 package rmm
 
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/pmem"
-	"repro/internal/recovery"
 )
 
-// Header word offsets.
+// Persistent header word offsets (relative to the allocator header). The
+// chunk directory follows the fixed words: entry i occupies two words
+// (bitmap address, blocks address) at hdrDir + 2*i.
 const (
-	hdrBitmap  = 0
-	hdrBlocks  = pmem.WordSize
-	hdrBlockW  = 2 * pmem.WordSize
-	hdrNBlocks = 3 * pmem.WordSize
-	hdrLen     = 4
+	hdrBlockW    = 0
+	hdrChunkCap  = pmem.WordSize
+	hdrMaxChunks = 2 * pmem.WordSize
+	hdrNChunks   = 3 * pmem.WordSize
+	hdrDir       = 4 * pmem.WordSize
+	hdrFixed     = 4
 )
 
-// chunkBlocks is how many blocks a thread reserves from the shared cursor
-// at a time.
-const chunkBlocks = 32
+// refillBlocks is how many free blocks a handle pulls off a chunk's shared
+// free-stack in one CAS; flushBlocks is how many locally buffered frees a
+// handle accumulates before splicing them back with one CAS per chunk.
+const (
+	refillBlocks = 16
+	flushBlocks  = 16
+)
 
+// sites names the allocator's registered pwb code lines.
 type sites struct {
-	bit pmem.Site
+	bit   pmem.Site // bitmap bit set (Alloc) / clear (Free)
+	dir   pmem.Site // chunk-directory entry of a grown chunk
+	count pmem.Site // chunk-count publish that commits a grow
 }
 
-// Allocator manages nBlocks fixed-size blocks carved out of a pool.
+// chunk is the volatile view of one contiguous block arena: its durable
+// addresses plus the lock-free free-stack over its block indices. The
+// stack is a Treiber list threaded through the next array — top packs a
+// 32-bit ABA version with the 1-based index of the first free block, and
+// next[i] holds the 1-based successor of block i (0 terminates). All
+// stack state is volatile: a crash discards it and Attach/RecoverGC
+// rebuild it from the durable bitmap, which is the only allocation truth.
+type chunk struct {
+	bitmap pmem.Addr // bitmapWords words, bit b = block b allocated
+	blocks pmem.Addr // chunkCap * blockWords words
+	top    atomic.Uint64
+	free   atomic.Int64 // free-stack population (excludes handle caches)
+	// dormant marks a chunk the shrink policy has retired: Alloc skips it
+	// until demand reactivates it. The flag is volatile only — the durable
+	// state of a dormant chunk is indistinguishable from an active one, so
+	// recovery simply resurrects every chunk active.
+	dormant atomic.Bool
+	next    []atomic.Uint32
+}
+
+// packTop builds a top word from a version and a 1-based head index.
+func packTop(ver uint64, head1 uint32) uint64 { return ver<<32 | uint64(head1) }
+
+// pushChain splices the pre-linked chain head1..tail1 (1-based chunk-local
+// indices, n blocks) onto the free-stack with one CAS. The chain's cells
+// are exclusively owned by the caller until the CAS publishes them.
+func (c *chunk) pushChain(head1, tail1 uint32, n int64) {
+	for {
+		old := c.top.Load()
+		c.next[tail1-1].Store(uint32(old))
+		if c.top.CompareAndSwap(old, packTop(old>>32+1, head1)) {
+			c.free.Add(n)
+			return
+		}
+	}
+}
+
+// popChain detaches up to max blocks from the free-stack with one CAS and
+// writes their chunk-local indices into dst. The walk over next cells may
+// observe stale links if the stack changes underneath it, but any push or
+// pop bumps top's version, so the CAS only succeeds when the walked chain
+// was stable. Returns the number of blocks taken (0 = stack empty) and
+// the number of CAS attempts + links walked, for the O(1) diagnostics.
+func (c *chunk) popChain(dst []int, max int) (n int, steps uint64) {
+	for {
+		old := c.top.Load()
+		steps++
+		head1 := uint32(old)
+		if head1 == 0 {
+			return 0, steps
+		}
+		cur := head1
+		n = 1
+		dst[0] = int(cur - 1)
+		for n < max {
+			nxt := c.next[cur-1].Load()
+			steps++
+			if nxt == 0 {
+				break
+			}
+			cur = nxt
+			dst[n] = int(cur - 1)
+			n++
+		}
+		newHead := c.next[cur-1].Load()
+		if c.top.CompareAndSwap(old, packTop(old>>32+1, newHead)) {
+			c.free.Add(-int64(n))
+			return n, steps
+		}
+	}
+}
+
+// Allocator manages fixed-size blocks carved out of a pool, in up to
+// maxChunks chunks of chunkCap blocks each. The durable state is the
+// header (geometry + chunk directory + chunk count) and one allocation
+// bitmap per chunk; everything else — the per-chunk free-stacks, the
+// handle caches, the shrink policy's dormancy flags — is volatile and
+// rebuilt from the bitmaps on Attach or from the reachable set in
+// RecoverGC.
 type Allocator struct {
-	pool       *pmem.Pool
-	bitmap     pmem.Addr // nBlocks bits, word-packed
-	blocksBase pmem.Addr
-	blockWords int
-	nBlocks    int
-	header     pmem.Addr
-	cursor     atomic.Int64 // volatile chunk-reservation hint
-	scanWords  atomic.Uint64 // diagnostic: bitmap words loaded by Alloc scans
-	s          sites
+	pool        *pmem.Pool
+	header      pmem.Addr
+	blockWords  int
+	chunkCap    int
+	maxChunks   int
+	bitmapWords int // per chunk
+	// stride is the block size in bytes; capShift/strideShift are the
+	// log2 of chunkCap/stride when those are powers of two (-1 otherwise),
+	// so the per-operation index math strength-reduces to shifts and masks
+	// in the common geometries instead of hardware divisions.
+	stride      int
+	capShift    int
+	strideShift int
+	chunks      []atomic.Pointer[chunk]
+	// bases is the published address-resolution table: the arena base of
+	// every chunk in chunk order plus, when the chunk span is a power of
+	// two, a span-granular bucket index mapping an address directly to its
+	// owning chunk (at most two candidates per bucket, since disjoint
+	// span-length arenas can overlap a span-length bucket at most twice).
+	// Free resolves a block address through it in O(1) instead of scanning
+	// the base list — the same trick page-table-style allocators use.
+	// Republished as one pointer swap on each grow so readers always see a
+	// consistent table.
+	bases atomic.Pointer[baseTable]
+	nChunks     atomic.Int32
+	growMu      sync.Mutex
+	rotor       atomic.Int64 // distributes handles across chunks
+	shrinkPct   atomic.Int64 // auto-retire threshold; 0 disables
+	s           sites
+
+	// Statistics counters; see Stats.
+	allocs, freesN, grows, shrinks, reactivates atomic.Uint64
+	refills, flushes, stackSteps                atomic.Uint64
+	leaksReclaimed, marksRestored               atomic.Uint64
 }
 
-// New creates an allocator of nBlocks blocks of blockWords words each and
-// records its header in rootSlot.
+// New creates a fixed-size allocator of nBlocks blocks of blockWords words
+// each and records its header in rootSlot. It is NewGrowable with a single
+// chunk — the arena can never grow.
 func New(pool *pmem.Pool, blockWords, nBlocks, rootSlot int) *Allocator {
-	if blockWords <= 0 || nBlocks <= 0 {
+	return NewGrowable(pool, blockWords, nBlocks, 1, rootSlot)
+}
+
+// NewGrowable creates a growable allocator: one chunk of chunkBlocks
+// blocks of blockWords words each is carved out immediately, and Alloc
+// grows the arena chunk by chunk, up to maxChunks, when every active chunk
+// is exhausted. The header (geometry, chunk directory, chunk count) is
+// persisted and recorded in rootSlot so Attach can rebuild the allocator
+// after a crash.
+func NewGrowable(pool *pmem.Pool, blockWords, chunkBlocks, maxChunks, rootSlot int) *Allocator {
+	if blockWords <= 0 || chunkBlocks <= 0 || maxChunks <= 0 {
 		panic("rmm: invalid geometry")
 	}
 	boot := pool.NewThread(0)
-	bitmapWords := (nBlocks + 63) / 64
-	bitmap := boot.AllocLines((bitmapWords + pmem.LineWords - 1) / pmem.LineWords)
-	blocks := boot.AllocLines((nBlocks*blockWords + pmem.LineWords - 1) / pmem.LineWords)
-
-	header := boot.AllocLocal(hdrLen)
-	boot.Store(header+hdrBitmap, uint64(bitmap))
-	boot.Store(header+hdrBlocks, uint64(blocks))
+	a := &Allocator{
+		pool: pool, blockWords: blockWords, chunkCap: chunkBlocks,
+		maxChunks: maxChunks, bitmapWords: (chunkBlocks + 63) / 64,
+		chunks: make([]atomic.Pointer[chunk], maxChunks),
+		s:      registerSites(pool),
+	}
+	a.setGeometry()
+	header := boot.AllocWords(hdrFixed + 2*maxChunks)
+	a.header = header
 	boot.Store(header+hdrBlockW, uint64(blockWords))
-	boot.Store(header+hdrNBlocks, uint64(nBlocks))
-	boot.PWBRange(pmem.NoSite, header, hdrLen)
+	boot.Store(header+hdrChunkCap, uint64(chunkBlocks))
+	boot.Store(header+hdrMaxChunks, uint64(maxChunks))
+	boot.Store(header+hdrNChunks, 0)
+	boot.PWBRange(pmem.NoSite, header, hdrFixed)
 	boot.PFence()
 	root := pool.RootSlot(rootSlot)
 	boot.Store(root, uint64(header))
 	boot.PWB(pmem.NoSite, root)
 	boot.PSync()
+	if !a.grow(boot, true) {
+		panic("rmm: pool too small for the first chunk")
+	}
+	return a
+}
 
-	return &Allocator{
-		pool: pool, bitmap: bitmap, blocksBase: blocks,
-		blockWords: blockWords, nBlocks: nBlocks, header: header,
-		s: sites{bit: pool.RegisterSite("rmm/pwb-bitmap")},
+// registerSites registers (idempotently) the allocator's pwb code lines.
+func registerSites(pool *pmem.Pool) sites {
+	return sites{
+		bit:   pool.RegisterSite("rmm/pwb-bitmap"),
+		dir:   pool.RegisterSite("rmm/pwb-chunk-dir"),
+		count: pool.RegisterSite("rmm/pwb-chunk-count"),
 	}
 }
 
-// Attach reconstructs an Allocator from the header in rootSlot.
+// Attach reconstructs an Allocator from the header in rootSlot after pool
+// recovery, rebuilding each chunk's volatile free-stack from its durable
+// allocation bitmap. Blocks leaked by the crash (bit set, unreachable)
+// stay allocated until RecoverGC reclaims them.
 func Attach(pool *pmem.Pool, rootSlot int) (*Allocator, error) {
 	boot := pool.NewThread(0)
+	a, err := attachHeader(pool, boot, rootSlot)
+	if err != nil {
+		return nil, err
+	}
+	n := int(a.nChunks.Load())
+	for ci := 0; ci < n; ci++ {
+		c := a.chunkAt(ci)
+		sl := newSplicer(a, ci)
+		for wi := 0; wi < a.bitmapWords; wi++ {
+			sl.word(wi, boot.Load(c.bitmap+pmem.Addr(wi*pmem.WordSize)))
+		}
+		sl.commit()
+	}
+	return a, nil
+}
+
+// attachHeader rebuilds the allocator struct and chunk directory (but not
+// the free-stacks) from the persistent header.
+func attachHeader(pool *pmem.Pool, boot *pmem.ThreadCtx, rootSlot int) (*Allocator, error) {
 	header := pmem.Addr(boot.Load(pool.RootSlot(rootSlot)))
 	if header == pmem.Null {
 		return nil, fmt.Errorf("rmm: root slot %d holds no allocator", rootSlot)
 	}
 	a := &Allocator{
 		pool:       pool,
-		bitmap:     pmem.Addr(boot.Load(header + hdrBitmap)),
-		blocksBase: pmem.Addr(boot.Load(header + hdrBlocks)),
-		blockWords: int(boot.Load(header + hdrBlockW)),
-		nBlocks:    int(boot.Load(header + hdrNBlocks)),
 		header:     header,
-		s:          sites{bit: pool.RegisterSite("rmm/pwb-bitmap")},
+		blockWords: int(boot.Load(header + hdrBlockW)),
+		chunkCap:   int(boot.Load(header + hdrChunkCap)),
+		maxChunks:  int(boot.Load(header + hdrMaxChunks)),
+		s:          registerSites(pool),
 	}
-	if a.bitmap == pmem.Null || a.blockWords <= 0 || a.nBlocks <= 0 {
+	n := int(boot.Load(header + hdrNChunks))
+	if a.blockWords <= 0 || a.chunkCap <= 0 || a.maxChunks <= 0 || n <= 0 || n > a.maxChunks {
 		return nil, fmt.Errorf("rmm: corrupt header at %#x", uint64(header))
 	}
+	a.bitmapWords = (a.chunkCap + 63) / 64
+	a.setGeometry()
+	a.chunks = make([]atomic.Pointer[chunk], a.maxChunks)
+	for ci := 0; ci < n; ci++ {
+		entry := header + hdrDir + pmem.Addr(2*ci*pmem.WordSize)
+		bm := pmem.Addr(boot.Load(entry))
+		bl := pmem.Addr(boot.Load(entry + pmem.WordSize))
+		if bm == pmem.Null || bl == pmem.Null {
+			return nil, fmt.Errorf("rmm: corrupt chunk directory entry %d", ci)
+		}
+		a.chunks[ci].Store(&chunk{
+			bitmap: bm, blocks: bl,
+			next: make([]atomic.Uint32, a.chunkCap),
+		})
+	}
+	a.publishBases(n)
+	a.nChunks.Store(int32(n))
 	return a, nil
 }
 
-// BlockAddr returns the address of block i.
-func (a *Allocator) BlockAddr(i int) pmem.Addr {
-	return a.blocksBase + pmem.Addr(i*a.blockWords*pmem.WordSize)
+// chunkAt returns chunk ci; ci must be below the published count.
+func (a *Allocator) chunkAt(ci int) *chunk { return a.chunks[ci].Load() }
+
+// setGeometry derives the strength-reduction fields from the geometry.
+func (a *Allocator) setGeometry() {
+	a.stride = a.blockWords * pmem.WordSize
+	a.capShift, a.strideShift = shiftFor(a.chunkCap), shiftFor(a.stride)
 }
 
-// blockIndex is the inverse of BlockAddr.
-func (a *Allocator) blockIndex(addr pmem.Addr) (int, error) {
-	off := int(addr - a.blocksBase)
-	stride := a.blockWords * pmem.WordSize
-	if addr < a.blocksBase || off%stride != 0 || off/stride >= a.nBlocks {
-		return 0, fmt.Errorf("rmm: %#x is not a block address", uint64(addr))
+// shiftFor returns log2(n) when n is a power of two, else -1.
+func shiftFor(n int) int {
+	if n > 0 && n&(n-1) == 0 {
+		return bits.TrailingZeros(uint(n))
 	}
-	return off / stride, nil
+	return -1
 }
 
-func (a *Allocator) bitWord(i int) (addr pmem.Addr, mask uint64) {
-	return a.bitmap + pmem.Addr(i/64*pmem.WordSize), 1 << uint(i%64)
-}
-
-// Handle is the per-thread face of the allocator.
-type Handle struct {
-	a      *Allocator
-	ctx    *pmem.ThreadCtx
-	lo, hi int64 // reserved window [lo, hi) in unwrapped cursor space
-	// exLo, exHi is the most recent window this handle scanned to
-	// exhaustion (every block allocated), in unwrapped cursor space. It is
-	// the fairness hint: positions p and p+k*nBlocks name the same block,
-	// so after the cursor wraps a fresh window can land back on blocks the
-	// handle just proved full; the hint lets Alloc skip that prefix and
-	// spend its scan budget on blocks it has not seen this lap.
-	exLo, exHi int64
-}
-
-// Handle creates the per-thread handle for ctx.
-func (a *Allocator) Handle(ctx *pmem.ThreadCtx) *Handle {
-	return &Handle{a: a, ctx: ctx}
-}
-
-// trimExhausted returns the new lower bound of window [lo, hi) after
-// skipping the prefix whose blocks lie in the exhausted window [exLo,
-// exHi) taken modulo n. Windows are at most n long, and exHi-exLo < n
-// here (a full-lap exhausted window would trim everything and is never
-// recorded), so at most two wrapped images of the exhausted window can
-// touch the prefix.
-func trimExhausted(lo, hi, exLo, exHi, n int64) int64 {
-	if exHi <= exLo || lo >= hi {
-		return lo
+// locate resolves global block index g to its chunk and chunk-local index.
+func (a *Allocator) locate(g int) (*chunk, int) {
+	if a.capShift >= 0 {
+		return a.chunks[g>>uint(a.capShift)].Load(), g & (a.chunkCap - 1)
 	}
-	for {
-		k := (lo - exLo) / n
-		if k < 1 {
-			return lo
-		}
-		imgLo, imgHi := exLo+k*n, exHi+k*n
-		if lo < imgLo || lo >= imgHi {
-			return lo
-		}
-		lo = imgHi
-		if lo >= hi {
-			return hi
-		}
-	}
+	return a.chunks[g/a.chunkCap].Load(), g % a.chunkCap
 }
 
-// Alloc claims a free block, zeroes it, and returns its address after the
-// bitmap bit is durable (so a crash can never hand the block out twice).
-// It returns Null when the allocator is exhausted.
-//
-// The scan is word-at-a-time: one Load covers up to 64 blocks, so a
-// near-full allocator costs ~nBlocks/64 loads per lap instead of nBlocks.
-// Window positions live in the cursor's unwrapped space (block = position
-// mod nBlocks) but each window is clamped to nBlocks positions, so a
-// single window never examines a block twice; combined with the
-// last-exhausted hint this keeps allocation O(1) amortized when the
-// allocator is nearly full. The scan budget is two laps of positions: one
-// lap guarantees every block was examined, the second absorbs CAS races
-// and concurrent frees (and rescans hint-skipped prefixes), matching the
-// old two-round bound.
-func (h *Handle) Alloc() pmem.Addr {
-	a := h.a
-	c := h.ctx
-	n := int64(a.nBlocks)
-	budget := 2 * n
-	var used int64
-	for used < budget {
-		if h.lo >= h.hi {
-			start := a.cursor.Add(chunkBlocks) - chunkBlocks
-			h.lo, h.hi = start, start+chunkBlocks
-			if h.hi-h.lo > n {
-				h.hi = h.lo + n
+// baseTable is the snapshot findBlock resolves addresses through. bases
+// holds every chunk's arena base in chunk order. When the chunk span
+// (chunkCap*stride) is a power of two, look is a dense bucket index over
+// [lo, hi): bucket b covers addresses [lo+b<<shift, lo+(b+1)<<shift), and
+// each bucket lists the (at most two) chunks whose arena intersects it,
+// nil-chunk padded. Bucket entries carry the candidate's base and chunk
+// pointer inline, so the hot lookup is one table load plus one bucket
+// load — no hop through the base or chunk slices. A nil look means
+// irregular geometry; findBlock falls back to scanning bases.
+type baseTable struct {
+	bases []pmem.Addr
+	chs   []*chunk // resolved chunk pointers, same order as bases
+	lo    pmem.Addr
+	shift uint
+	look  [][2]lookEntry
+}
+
+// lookEntry is one candidate chunk in a baseTable bucket. A nil ch ends
+// the bucket's candidate list.
+type lookEntry struct {
+	base pmem.Addr
+	ch   *chunk
+	ci   int32
+}
+
+// findBlock locates the chunk owning a block address and the block's
+// chunk index and chunk-local index. It reports false for addresses
+// outside every chunk's arena or misaligned within one. With the bucket
+// index published it costs one table load and at most two base compares,
+// independent of the chunk count.
+func (a *Allocator) findBlock(addr pmem.Addr) (*chunk, int, int, bool) {
+	t := a.bases.Load()
+	span := pmem.Addr(a.chunkCap * a.stride)
+	if t.look != nil {
+		if addr < t.lo {
+			return nil, 0, 0, false
+		}
+		b := uint64(addr-t.lo) >> t.shift
+		if b >= uint64(len(t.look)) {
+			return nil, 0, 0, false
+		}
+		// Indexing through a pointer: ranging the bucket by value would
+		// copy all 48 bytes of it per call.
+		bkt := &t.look[b]
+		for i := range bkt {
+			e := &bkt[i]
+			if e.ch == nil {
+				break
 			}
-			if used < n { // hint applies on the first lap only
-				trimmed := trimExhausted(h.lo, h.hi, h.exLo, h.exHi, n)
-				used += trimmed - h.lo
-				h.lo = trimmed
-				if h.lo >= h.hi {
-					continue
+			if addr-e.base < span {
+				return a.resolve(e.ch, int(e.ci), int(addr-e.base))
+			}
+		}
+		return nil, 0, 0, false
+	}
+	for ci, base := range t.bases {
+		if addr >= base && addr-base < span {
+			return a.resolve(t.chs[ci], ci, int(addr-base))
+		}
+	}
+	return nil, 0, 0, false
+}
+
+// resolve finishes findBlock once the owning chunk is known: it rejects
+// offsets that are misaligned within the block stride.
+func (a *Allocator) resolve(ch *chunk, ci, off int) (*chunk, int, int, bool) {
+	var idx int
+	if a.strideShift >= 0 {
+		if off&(a.stride-1) != 0 {
+			return nil, 0, 0, false
+		}
+		idx = off >> uint(a.strideShift)
+	} else {
+		if off%a.stride != 0 {
+			return nil, 0, 0, false
+		}
+		idx = off / a.stride
+	}
+	return ch, ci, idx, true
+}
+
+// publishBases rebuilds the address-resolution table from the first n
+// chunks and publishes it in one pointer swap. Callers are single-threaded
+// constructors/recovery or hold growMu. The bucket index is built only for
+// power-of-two spans (shift-indexable); other geometries publish just the
+// base list and findBlock scans it.
+func (a *Allocator) publishBases(n int) {
+	t := &baseTable{bases: make([]pmem.Addr, n), chs: make([]*chunk, n)}
+	for ci := 0; ci < n; ci++ {
+		t.chs[ci] = a.chunks[ci].Load()
+		t.bases[ci] = t.chs[ci].blocks
+	}
+	span := a.chunkCap * a.stride
+	if spanShift := shiftFor(span); spanShift >= 0 && n > 0 && n <= 1<<15 {
+		lo, hi := t.bases[0], t.bases[0]
+		for _, b := range t.bases {
+			if b < lo {
+				lo = b
+			}
+			if b > hi {
+				hi = b
+			}
+		}
+		t.lo, t.shift = lo, uint(spanShift)
+		t.look = make([][2]lookEntry, int(hi-lo+pmem.Addr(span)-1)>>spanShift+1)
+		for ci, base := range t.bases {
+			e := lookEntry{base: base, ch: t.chs[ci], ci: int32(ci)}
+			b0 := int(base-lo) >> spanShift
+			b1 := int(base-lo+pmem.Addr(span)-1) >> spanShift
+			for _, b := range [2]int{b0, b1} {
+				if t.look[b][0].ch == nil {
+					t.look[b][0] = e
+				} else if t.look[b][0].ci != e.ci {
+					t.look[b][1] = e
 				}
 			}
 		}
-		winLo := h.lo
-		for h.lo < h.hi {
-			blk := h.lo % n
-			bit := blk % 64
-			w := a.bitmap + pmem.Addr(blk/64*pmem.WordSize)
-			span := 64 - bit
-			if rem := h.hi - h.lo; rem < span {
-				span = rem
-			}
-			if tail := n - blk; tail < span {
-				span = tail
-			}
-			mask := ^uint64(0)
-			if span < 64 {
-				mask = (1<<uint(span) - 1) << uint(bit)
-			}
-			v := c.Load(w)
-			a.scanWords.Add(1)
-			free := ^v & mask
-			if free == 0 {
-				h.lo += span
-				used += span
-				continue
-			}
-			fb := int64(bits.TrailingZeros64(free))
-			if !c.CAS(w, v, v|1<<uint(fb)) {
-				used++ // re-examine the word under its new value
-				continue
-			}
-			h.lo += fb - bit + 1
-			c.PWB(a.s.bit, w)
-			c.PSync()
-			b := a.BlockAddr(int(blk - bit + fb))
-			for off := 0; off < a.blockWords; off++ {
-				c.Store(b+pmem.Addr(off*pmem.WordSize), 0)
-			}
-			return b
-		}
-		// Window exhausted without an allocation: remember it for the
-		// wrap-skip hint unless it spans a whole lap (skipping a full lap
-		// would skip every block).
-		if h.hi-winLo < n {
-			h.exLo, h.exHi = winLo, h.hi
-		}
 	}
-	return pmem.Null
+	a.bases.Store(t)
 }
 
-// Free releases a block. The bit-clear is persisted; if the write-back is
-// lost to a crash the block leaks until the next RecoverGC, but is never
-// handed out twice.
+// grow carves a new chunk out of the pool arena and publishes it. The
+// persist order makes a crash anywhere inside it harmless: the directory
+// entry is flushed and fenced before the chunk count that makes it
+// visible, so a torn grow leaves the durable count — and therefore every
+// recovery — exactly as before the call. The arena words of an
+// unpublished chunk are lost (the pool's bump pointer never rewinds), a
+// bounded leak of at most one chunk per crash, mirroring the block-leak
+// model. boot marks the constructor's first chunk, whose persists are
+// bootstrap writes outside the sweep's site universe. Callers hold growMu
+// (the constructor is single-threaded). Returns false when the chunk
+// budget or the pool arena is exhausted.
+func (a *Allocator) grow(ctx *pmem.ThreadCtx, boot bool) bool {
+	n := int(a.nChunks.Load())
+	if n >= a.maxChunks {
+		return false
+	}
+	bmLines := (a.bitmapWords + pmem.LineWords - 1) / pmem.LineWords
+	blkLines := (a.chunkCap*a.blockWords + pmem.LineWords - 1) / pmem.LineWords
+	bm, ok := ctx.TryAllocLines(bmLines)
+	if !ok {
+		return false
+	}
+	bl, ok := ctx.TryAllocLines(blkLines)
+	if !ok {
+		return false // the bitmap words leak; the arena is exhausted anyway
+	}
+	siteDir, siteCount := a.s.dir, a.s.count
+	if boot {
+		siteDir, siteCount = pmem.NoSite, pmem.NoSite
+	}
+	// A fresh chunk's bitmap is durably zero already (arena words start
+	// zero and were never written), so only the directory needs persisting.
+	entry := a.header + hdrDir + pmem.Addr(2*n*pmem.WordSize)
+	ctx.Store(entry, uint64(bm))
+	ctx.Store(entry+pmem.WordSize, uint64(bl))
+	ctx.PWBRange(siteDir, entry, 2)
+	ctx.PFence()
+
+	c := &chunk{bitmap: bm, blocks: bl, next: make([]atomic.Uint32, a.chunkCap)}
+	for i := 0; i < a.chunkCap-1; i++ {
+		c.next[i].Store(uint32(i + 2))
+	}
+	c.top.Store(packTop(0, 1))
+	c.free.Store(int64(a.chunkCap))
+	a.chunks[n].Store(c)
+	a.publishBases(n + 1)
+
+	ctx.Store(a.header+hdrNChunks, uint64(n+1))
+	ctx.PWB(siteCount, a.header+hdrNChunks)
+	ctx.PSync()
+	a.nChunks.Store(int32(n + 1))
+	a.grows.Add(1)
+	return true
+}
+
+// BlockAddr returns the address of block i (global index, chunk-major).
+func (a *Allocator) BlockAddr(i int) pmem.Addr {
+	c, idx := a.locate(i)
+	return c.blocks + pmem.Addr(idx*a.stride)
+}
+
+// blockIndex is the inverse of BlockAddr: it maps a block address to its
+// global index by locating the owning chunk.
+func (a *Allocator) blockIndex(addr pmem.Addr) (int, error) {
+	if _, ci, idx, ok := a.findBlock(addr); ok {
+		return ci*a.chunkCap + idx, nil
+	}
+	return 0, fmt.Errorf("rmm: %#x is not a block address", uint64(addr))
+}
+
+// Owns reports whether addr is a block address of this allocator.
+func (a *Allocator) Owns(addr pmem.Addr) bool {
+	_, _, _, ok := a.findBlock(addr)
+	return ok
+}
+
+// bitWord locates the bitmap word and mask of global block index i.
+func (a *Allocator) bitWord(i int) (addr pmem.Addr, mask uint64) {
+	c, idx := a.locate(i)
+	return c.bitmap + pmem.Addr(idx>>6*pmem.WordSize), 1 << uint(idx&63)
+}
+
+// Handle is the per-thread face of the allocator. It buffers both sides
+// of churn: Alloc refills a private cache of free blocks with one shared
+// CAS per refillBlocks pops, and Free batches bit-cleared blocks locally,
+// splicing them back with one shared CAS per chunk per flushBlocks frees.
+// A handle is single-goroutine, like its ThreadCtx, and must be discarded
+// (not reused) across a crash or a RecoverGC.
+type Handle struct {
+	a   *Allocator
+	ctx *pmem.ThreadCtx
+	// cache holds refilled free blocks (global indices), consumed from
+	// cachePos; frees holds bit-cleared blocks awaiting their flush, and
+	// doubles as the first allocation source so a freed block is reused
+	// while its lines are hot.
+	cache    []int
+	cachePos int
+	frees    []int
+	pref     int
+	// nAllocs/nFrees batch the operation counters: the shared stats
+	// atomics are touched once per statsBatch operations, so the hot path
+	// pays a plain increment. Stats may therefore lag the truth by up to
+	// statsBatch-1 operations per live handle.
+	nAllocs, nFrees uint32
+}
+
+// statsBatch is the handle-local operation-counter flush period.
+const statsBatch = 32
+
+// Handle creates the per-thread handle for ctx.
+func (a *Allocator) Handle(ctx *pmem.ThreadCtx) *Handle {
+	return &Handle{
+		a: a, ctx: ctx,
+		cache: make([]int, 0, refillBlocks),
+		pref:  int(a.rotor.Add(1) - 1),
+	}
+}
+
+// takeLocal pops a block from the handle's private buffers: most recently
+// freed first, then the refill cache.
+func (h *Handle) takeLocal() (int, bool) {
+	if n := len(h.frees); n > 0 {
+		g := h.frees[n-1]
+		h.frees = h.frees[:n-1]
+		return g, true
+	}
+	if h.cachePos < len(h.cache) {
+		g := h.cache[h.cachePos]
+		h.cachePos++
+		return g, true
+	}
+	return 0, false
+}
+
+// refill repopulates the handle's cache from the shared free-stacks:
+// chunks are scanned round-robin from the handle's preferred chunk, and
+// the first non-empty stack donates up to refillBlocks blocks in one CAS.
+// When every active chunk is empty the allocator expands (reactivating a
+// dormant chunk, then growing) and the scan retries once.
+func (h *Handle) refill() (int, bool) {
+	a := h.a
+	h.cache = h.cache[:cap(h.cache)]
+	h.cachePos = len(h.cache) // stays "empty" if every pop below fails
+	for attempt := 0; attempt < 2; attempt++ {
+		n := int(a.nChunks.Load())
+		for j := 0; j < n; j++ {
+			c := a.chunkAt((h.pref + j) % n)
+			if c.dormant.Load() {
+				continue
+			}
+			ci := (h.pref + j) % n
+			got, steps := c.popChain(h.cache, refillBlocks)
+			a.stackSteps.Add(steps)
+			if got > 0 {
+				for i := 0; i < got; i++ {
+					h.cache[i] += ci * a.chunkCap
+				}
+				h.cache = h.cache[:got]
+				h.cachePos = 1
+				a.refills.Add(1)
+				return h.cache[0], true
+			}
+		}
+		if !a.expand(h.ctx) {
+			break
+		}
+	}
+	return 0, false
+}
+
+// expand makes more blocks allocatable when every active free-stack is
+// empty: it reactivates the lowest dormant chunk if one exists, else grows
+// a fresh chunk. The grow lock serializes expanders; a second expander
+// re-checks the stacks under the lock so racing exhaustion cannot grow
+// twice for one shortage.
+func (a *Allocator) expand(ctx *pmem.ThreadCtx) bool {
+	a.growMu.Lock()
+	defer a.growMu.Unlock()
+	n := int(a.nChunks.Load())
+	for ci := 0; ci < n; ci++ {
+		c := a.chunkAt(ci)
+		if c.dormant.Load() {
+			c.dormant.Store(false)
+			a.reactivates.Add(1)
+			return true
+		}
+		if !c.dormant.Load() && c.free.Load() > 0 {
+			return true // a concurrent free or expander already resolved it
+		}
+	}
+	return a.grow(ctx, false)
+}
+
+// Alloc claims a free block, zeroes it, and returns its address after the
+// block's bitmap bit is durable — so a crash can never hand the block out
+// twice. The hot path is O(1): pop a block from the handle's private
+// buffers (amortized one shared CAS per refillBlocks allocations), then
+// one bitmap CAS + pwb + psync for the durable claim. Blocks sitting in a
+// handle's buffers keep their bits clear, so a crash returns them to the
+// free pool rather than leaking them. Alloc returns Null only when every
+// chunk is empty and the arena can no longer grow; concurrently buffered
+// frees of other handles may make a Null transient.
+func (h *Handle) Alloc() pmem.Addr {
+	a := h.a
+	c := h.ctx
+	g, ok := h.takeLocal()
+	if !ok {
+		if g, ok = h.refill(); !ok {
+			return pmem.Null
+		}
+	}
+	ch, idx := a.locate(g)
+	w := ch.bitmap + pmem.Addr(idx>>6*pmem.WordSize)
+	mask := uint64(1) << uint(idx&63)
+	for {
+		v := c.Load(w)
+		if c.CAS(w, v, v|mask) {
+			break
+		}
+	}
+	c.PWB(a.s.bit, w)
+	c.PSync()
+	b := ch.blocks + pmem.Addr(idx*a.stride)
+	for off := 0; off < a.blockWords; off++ {
+		c.Store(b+pmem.Addr(off*pmem.WordSize), 0)
+	}
+	if h.nAllocs++; h.nAllocs >= statsBatch {
+		a.allocs.Add(uint64(h.nAllocs))
+		h.nAllocs = 0
+	}
+	return b
+}
+
+// Free releases a block: the bitmap bit-clear is persisted immediately
+// (a lost write-back leaks the block until the next RecoverGC, but can
+// never double-allocate it), then the block joins the handle's local free
+// buffer for reuse; full buffers flush to the shared free-stacks in one
+// CAS per chunk. Freeing an address the allocator does not own, or a
+// block that is already free, returns an error.
 func (h *Handle) Free(addr pmem.Addr) error {
 	a := h.a
 	c := h.ctx
-	i, err := a.blockIndex(addr)
-	if err != nil {
-		return err
+	ch, ci, idx, ok := a.findBlock(addr)
+	if !ok {
+		return fmt.Errorf("rmm: %#x is not a block address", uint64(addr))
 	}
-	w, mask := a.bitWord(i)
+	w := ch.bitmap + pmem.Addr(idx>>6*pmem.WordSize)
+	mask := uint64(1) << uint(idx&63)
+	g := ci*a.chunkCap + idx
+	if a.capShift >= 0 {
+		g = ci<<uint(a.capShift) | idx
+	}
 	for {
 		v := c.Load(w)
 		if v&mask == 0 {
-			return fmt.Errorf("rmm: double free of block %d", i)
+			return fmt.Errorf("rmm: double free of block %d", g)
 		}
 		if c.CAS(w, v, v&^mask) {
 			break
@@ -283,164 +674,258 @@ func (h *Handle) Free(addr pmem.Addr) error {
 	}
 	c.PWB(a.s.bit, w)
 	c.PSync()
+	h.frees = append(h.frees, g)
+	if h.nFrees++; h.nFrees >= statsBatch {
+		a.freesN.Add(uint64(h.nFrees))
+		h.nFrees = 0
+	}
+	if len(h.frees) >= flushBlocks {
+		h.Flush()
+	}
 	return nil
 }
 
-// InUse counts allocated blocks (diagnostic).
+// Flush splices the handle's buffered frees back onto their chunks'
+// shared free-stacks (one CAS per distinct chunk) and applies the shrink
+// policy. Free calls it automatically at the flush threshold; call it
+// directly before idling a thread so its buffered blocks become
+// allocatable to others.
+func (h *Handle) Flush() {
+	if len(h.frees) == 0 {
+		return
+	}
+	a := h.a
+	type chain struct {
+		ci           int
+		head1, tail1 uint32
+		n            int64
+	}
+	var chains [flushBlocks]chain
+	nc := 0
+	for _, g := range h.frees {
+		ci, idx1 := g/a.chunkCap, uint32(g%a.chunkCap+1)
+		found := -1
+		for i := 0; i < nc; i++ {
+			if chains[i].ci == ci {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			chains[nc] = chain{ci: ci, head1: idx1, tail1: idx1, n: 1}
+			nc++
+			continue
+		}
+		c := a.chunkAt(ci)
+		c.next[chains[found].tail1-1].Store(idx1)
+		chains[found].tail1 = idx1
+		chains[found].n++
+	}
+	for i := 0; i < nc; i++ {
+		a.chunkAt(chains[i].ci).pushChain(chains[i].head1, chains[i].tail1, chains[i].n)
+	}
+	h.frees = h.frees[:0]
+	a.flushes.Add(1)
+	a.maybeShrink()
+}
+
+// SetShrinkPolicy sets the auto-shrink threshold: after a free flush, if
+// at least minFreePct percent of the active capacity is on the shared
+// free-stacks and some chunk is entirely free, that chunk is retired
+// (made dormant) so allocation concentrates in fewer chunks. 0 disables
+// auto-shrink; Shrink remains available for explicit retirement.
+// Dormancy is volatile: a crash resurrects every chunk active and the
+// policy re-applies under the post-recovery load.
+func (a *Allocator) SetShrinkPolicy(minFreePct int) { a.shrinkPct.Store(int64(minFreePct)) }
+
+// maybeShrink applies the auto-shrink policy after a flush.
+func (a *Allocator) maybeShrink() {
+	pct := a.shrinkPct.Load()
+	if pct <= 0 {
+		return
+	}
+	var free, capacity int64
+	n := int(a.nChunks.Load())
+	active := 0
+	for ci := 0; ci < n; ci++ {
+		c := a.chunkAt(ci)
+		if c.dormant.Load() {
+			continue
+		}
+		active++
+		free += c.free.Load()
+		capacity += int64(a.chunkCap)
+	}
+	if active >= 2 && free*100 >= capacity*pct {
+		a.Shrink()
+	}
+}
+
+// Shrink retires one entirely free chunk (the highest-indexed one) by
+// marking it dormant, so Alloc stops drawing from it; a later exhaustion
+// reactivates it before any grow. At least one chunk always stays active.
+// The durable state is untouched — a dormant chunk's bitmap is all-free
+// and recovery resurrects it active. Returns whether a chunk was retired.
+func (a *Allocator) Shrink() bool {
+	a.growMu.Lock()
+	defer a.growMu.Unlock()
+	n := int(a.nChunks.Load())
+	active := 0
+	for ci := 0; ci < n; ci++ {
+		if !a.chunkAt(ci).dormant.Load() {
+			active++
+		}
+	}
+	if active < 2 {
+		return false
+	}
+	for ci := n - 1; ci >= 0; ci-- {
+		c := a.chunkAt(ci)
+		if !c.dormant.Load() && c.free.Load() == int64(a.chunkCap) {
+			c.dormant.Store(true)
+			a.shrinks.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+// InUse counts allocated blocks (diagnostic): the population of the
+// durable bitmaps, which includes blocks leaked by crashes until
+// RecoverGC reclaims them but excludes free blocks buffered in handles.
 func (a *Allocator) InUse(ctx *pmem.ThreadCtx) int {
 	n := 0
-	for i := 0; i < a.nBlocks; i++ {
-		w, mask := a.bitWord(i)
-		if ctx.Load(w)&mask != 0 {
-			n++
+	nc := int(a.nChunks.Load())
+	for ci := 0; ci < nc; ci++ {
+		c := a.chunkAt(ci)
+		for wi := 0; wi < a.bitmapWords; wi++ {
+			v := ctx.Load(c.bitmap + pmem.Addr(wi*pmem.WordSize))
+			if rem := a.chunkCap - wi*64; rem < 64 {
+				v &= 1<<uint(rem) - 1
+			}
+			n += bits.OnesCount64(v)
 		}
 	}
 	return n
 }
 
-// RecoverGC rebuilds the allocation bitmap after a crash from the user's
-// reachable blocks: mark is called with a visit function and must invoke it
-// for the address of every block reachable from the application's roots.
-// Blocks whose bits were set but that are unreachable (leaked by the crash)
-// are reclaimed; reachable blocks whose bit-set write-back was lost are
-// re-marked. Must run before any thread allocates.
-func (a *Allocator) RecoverGC(ctx *pmem.ThreadCtx, mark func(visit func(pmem.Addr) error) error) error {
-	reachable := make([]uint64, (a.nBlocks+63)/64)
-	err := mark(func(addr pmem.Addr) error {
-		i, err := a.blockIndex(addr)
-		if err != nil {
-			return err
-		}
-		reachable[i/64] |= 1 << uint(i%64)
-		return nil
-	})
-	if err != nil {
-		return err
+// TotalBlocks reports the current capacity in blocks across all chunks,
+// dormant included.
+func (a *Allocator) TotalBlocks() int { return int(a.nChunks.Load()) * a.chunkCap }
+
+// splicer assembles one chunk's free-stack deterministically from
+// per-word sublists. Each bitmap word contributes its free blocks as an
+// ascending pre-linked sublist (word is idempotent and touches only that
+// word's next cells, so independent words may be built by different
+// recovery workers); commit then splices the sublists in word order and
+// publishes the stack head, free count and active flag. The result is a
+// pure function of the bitmap contents — identical no matter how many
+// workers built the sublists.
+type splicer struct {
+	a     *Allocator
+	c     *chunk
+	heads []uint32
+	tails []uint32
+	cnts  []int64
+}
+
+// newSplicer prepares a splicer for chunk ci.
+func newSplicer(a *Allocator, ci int) *splicer {
+	return &splicer{
+		a: a, c: a.chunkAt(ci),
+		heads: make([]uint32, a.bitmapWords),
+		tails: make([]uint32, a.bitmapWords),
+		cnts:  make([]int64, a.bitmapWords),
 	}
-	for wi := range reachable {
-		w := a.bitmap + pmem.Addr(wi*pmem.WordSize)
-		if ctx.Load(w) != reachable[wi] {
-			ctx.Store(w, reachable[wi])
-			ctx.PWB(a.s.bit, w)
+}
+
+// word builds word wi's sublist from its allocated-bits value.
+func (s *splicer) word(wi int, allocBits uint64) {
+	span := s.a.chunkCap - wi*64
+	if span > 64 {
+		span = 64
+	}
+	mask := ^uint64(0)
+	if span < 64 {
+		mask = 1<<uint(span) - 1
+	}
+	free := ^allocBits & mask
+	var head, prev uint32
+	var n int64
+	for free != 0 {
+		idx1 := uint32(wi*64+bits.TrailingZeros64(free)) + 1
+		if head == 0 {
+			head = idx1
+		} else {
+			s.c.next[prev-1].Store(idx1)
+		}
+		prev = idx1
+		n++
+		free &= free - 1
+	}
+	s.heads[wi], s.tails[wi], s.cnts[wi] = head, prev, n
+}
+
+// commit links the sublists in word order and publishes the stack.
+func (s *splicer) commit() {
+	var first, last uint32
+	var total int64
+	for wi := range s.heads {
+		if s.heads[wi] == 0 {
+			continue
+		}
+		if first == 0 {
+			first = s.heads[wi]
+		} else {
+			s.c.next[last-1].Store(s.heads[wi])
+		}
+		last = s.tails[wi]
+		total += s.cnts[wi]
+	}
+	if last != 0 {
+		s.c.next[last-1].Store(0)
+	}
+	s.c.top.Store(packTop(s.c.top.Load()>>32+1, first))
+	s.c.free.Store(total)
+	s.c.dormant.Store(false)
+}
+
+// CheckInvariants audits the volatile/durable split on a quiescent
+// allocator: each chunk's free-stack must be acyclic, hold exactly the
+// population its free counter claims, and list only blocks whose durable
+// bit is clear. (Blocks buffered in handles are bit-clear but on no
+// stack, so the stack population is a lower bound on the bitmap's free
+// count.)
+func (a *Allocator) CheckInvariants(ctx *pmem.ThreadCtx) error {
+	nc := int(a.nChunks.Load())
+	for ci := 0; ci < nc; ci++ {
+		c := a.chunkAt(ci)
+		var walked int64
+		bitClear := 0
+		for wi := 0; wi < a.bitmapWords; wi++ {
+			v := ctx.Load(c.bitmap + pmem.Addr(wi*pmem.WordSize))
+			span := a.chunkCap - wi*64
+			if span > 64 {
+				span = 64
+			}
+			bitClear += span - bits.OnesCount64(v&(^uint64(0)>>uint(64-span)))
+		}
+		for idx1 := uint32(c.top.Load()); idx1 != 0; idx1 = c.next[idx1-1].Load() {
+			if walked++; walked > int64(a.chunkCap) {
+				return fmt.Errorf("rmm: chunk %d free-stack cycles or overruns", ci)
+			}
+			g := ci*a.chunkCap + int(idx1-1)
+			if w, mask := a.bitWord(g); ctx.Load(w)&mask != 0 {
+				return fmt.Errorf("rmm: chunk %d lists allocated block %d as free", ci, g)
+			}
+		}
+		if f := c.free.Load(); f != walked {
+			return fmt.Errorf("rmm: chunk %d free counter %d != stack population %d", ci, f, walked)
+		}
+		if walked > int64(bitClear) {
+			return fmt.Errorf("rmm: chunk %d stack population %d exceeds %d bit-clear blocks",
+				ci, walked, bitClear)
 		}
 	}
-	ctx.PSync()
 	return nil
-}
-
-// MarkShard marks one independent shard of the application's reachable
-// set: it must invoke visit for the address of every reachable block in
-// its shard, using only the thread context it is given. Shards may
-// overlap (a block visited twice is simply marked twice) but their union
-// must be the full reachable set.
-type MarkShard func(ctx *pmem.ThreadCtx, visit func(pmem.Addr) error) error
-
-// ShardAddrs splits an already-enumerated list of reachable block
-// addresses into parts mark shards, for callers whose roots are a flat
-// list rather than a traversal.
-func ShardAddrs(addrs []pmem.Addr, parts int) []MarkShard {
-	if parts < 1 {
-		parts = 1
-	}
-	if parts > len(addrs) && len(addrs) > 0 {
-		parts = len(addrs)
-	}
-	if len(addrs) == 0 {
-		return nil
-	}
-	shards := make([]MarkShard, 0, parts)
-	per := (len(addrs) + parts - 1) / parts
-	for lo := 0; lo < len(addrs); lo += per {
-		hi := lo + per
-		if hi > len(addrs) {
-			hi = len(addrs)
-		}
-		part := addrs[lo:hi]
-		shards = append(shards, func(_ *pmem.ThreadCtx, visit func(pmem.Addr) error) error {
-			for _, addr := range part {
-				if err := visit(addr); err != nil {
-					return err
-				}
-			}
-			return nil
-		})
-	}
-	return shards
-}
-
-// RecoverGCParallel is RecoverGC with a concurrent mark phase: the shards
-// run on the engine's work-stealing queue (a shard may spawn further work
-// through its worker), each worker marking a private volatile bitmap; the
-// per-worker bitmaps are then merged with a single OR pass and the
-// persistent bitmap is rebuilt in parallel. The result is byte-identical
-// to serial RecoverGC from the same reachable set: the mark phase writes
-// no persistent state at all, and the rebuild writes exactly the words
-// that differ from the merged reachable set. The no-double-allocation
-// guarantee is preserved for the same reason as in the serial path —
-// recovery is offline, so the full merged mark is durable (each worker
-// ends its rebuild with a PSync) before any thread allocates.
-func (a *Allocator) RecoverGCParallel(eng *recovery.Engine, shards []MarkShard) error {
-	nWords := (a.nBlocks + 63) / 64
-	locals := make([][]uint64, eng.Workers())
-	tasks := make([]recovery.TaskFunc, len(shards))
-	for i, shard := range shards {
-		shard := shard
-		tasks[i] = func(w *recovery.Worker) error {
-			local := locals[w.ID]
-			if local == nil {
-				local = make([]uint64, nWords)
-				locals[w.ID] = local
-			}
-			return shard(w.Ctx, func(addr pmem.Addr) error {
-				i, err := a.blockIndex(addr)
-				if err != nil {
-					return err
-				}
-				local[i/64] |= 1 << uint(i%64)
-				return nil
-			})
-		}
-	}
-	if err := eng.RunTasks(a.pool, recovery.PhaseGCMark, tasks); err != nil {
-		return err
-	}
-	reachable := make([]uint64, nWords)
-	for _, local := range locals {
-		for wi, v := range local {
-			reachable[wi] |= v
-		}
-	}
-	return eng.For(a.pool, recovery.PhaseGCMark, nWords,
-		func(ctx *pmem.ThreadCtx, wi int) error {
-			w := a.bitmap + pmem.Addr(wi*pmem.WordSize)
-			if ctx.Load(w) != reachable[wi] {
-				ctx.Store(w, reachable[wi])
-				ctx.PWB(a.s.bit, w)
-			}
-			return nil
-		},
-		func(ctx *pmem.ThreadCtx) error {
-			ctx.PSync()
-			return nil
-		})
-}
-
-// InUseParallel counts allocated blocks with the bitmap words partitioned
-// across the engine's workers (diagnostic, word-at-a-time).
-func (a *Allocator) InUseParallel(eng *recovery.Engine) (int, error) {
-	nWords := (a.nBlocks + 63) / 64
-	var total atomic.Int64
-	err := eng.For(a.pool, recovery.PhaseVerify, nWords,
-		func(ctx *pmem.ThreadCtx, wi int) error {
-			v := ctx.Load(a.bitmap + pmem.Addr(wi*pmem.WordSize))
-			if rem := a.nBlocks - wi*64; rem < 64 {
-				v &= 1<<uint(rem) - 1
-			}
-			total.Add(int64(bits.OnesCount64(v)))
-			return nil
-		}, nil)
-	if err != nil {
-		return 0, err
-	}
-	return int(total.Load()), nil
 }

@@ -16,7 +16,11 @@
 //     recorded by the bench harness via RecordOp),
 //   - a bounded event-trace ring of persist and crash/recovery events
 //     with global sequence numbers, dumpable after a crash-sweep
-//     violation for postmortem debugging.
+//     violation for postmortem debugging,
+//   - named last-write-wins gauges (SetGauge) for subsystem state that is
+//     not a persistence instruction — the rmm-* allocator family
+//     (utilization, chunk counts, leak/mark repair totals published by
+//     rmm.PublishTelemetry) is the first client.
 //
 // Everything is collected in lock-free per-thread shards — one simulated
 // thread id writes one shard, snapshots merge them — so recording never

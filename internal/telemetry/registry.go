@@ -41,6 +41,24 @@ type Registry struct {
 
 	// pool events (tid -1) have no shard; their count lives here.
 	poolEvents atomic.Uint64
+
+	// gauges holds last-write-wins named values published by subsystems
+	// (e.g. the rmm-* allocator utilization family), guarded by mu.
+	gauges map[string]uint64
+}
+
+// SetGauge publishes a named last-write-wins gauge value into snapshots.
+// Gauges carry subsystem state that is not a persistence-instruction
+// counter — allocator utilization, leak totals, chunk counts — under a
+// subsystem-prefixed name ("rmm-chunks-active"). Concurrency-safe; the
+// latest value wins.
+func (r *Registry) SetGauge(name string, v uint64) {
+	r.mu.Lock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]uint64)
+	}
+	r.gauges[name] = v
+	r.mu.Unlock()
 }
 
 // siteAcc is one site's merged counters while being re-keyed by label.

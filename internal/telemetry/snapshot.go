@@ -34,6 +34,10 @@ type Snapshot struct {
 	// Ops lists the per-operation-class latency histograms that recorded
 	// at least one operation.
 	Ops []HistogramSnapshot `json:"ops"`
+	// Gauges lists named last-write-wins values published via SetGauge
+	// (e.g. the rmm-* allocator family), sorted by name; omitted when no
+	// gauge was ever set.
+	Gauges []GaugeSnapshot `json:"gauges,omitempty"`
 	// Events is the trace-ring content in sequence order (omitted when no
 	// ring is configured).
 	Events []EventSnapshot `json:"events,omitempty"`
@@ -58,6 +62,14 @@ type SiteSnapshot struct {
 	// PSyncStallNs is this line's attributed share of measured psync
 	// commit time (ModeStrict).
 	PSyncStallNs uint64 `json:"psync_stall_ns"`
+}
+
+// GaugeSnapshot is one named gauge's exported value.
+type GaugeSnapshot struct {
+	// Name is the gauge's subsystem-prefixed name.
+	Name string `json:"name"`
+	// Value is the last value set.
+	Value uint64 `json:"value"`
 }
 
 // Totals is the cheap running aggregate for live progress reporting.
@@ -190,6 +202,14 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 	}
 
+	// Gauges, sorted by name for deterministic export.
+	r.mu.Lock()
+	for name, v := range r.gauges {
+		snap.Gauges = append(snap.Gauges, GaugeSnapshot{Name: name, Value: v})
+	}
+	r.mu.Unlock()
+	sort.Slice(snap.Gauges, func(i, j int) bool { return snap.Gauges[i].Name < snap.Gauges[j].Name })
+
 	// Trace ring.
 	if r.ring != nil {
 		raw, seen := r.ring.collect()
@@ -281,6 +301,14 @@ func ValidateSnapshotJSON(data []byte) error {
 		if h.P50Ns > h.P90Ns || h.P90Ns > h.P99Ns {
 			return fmt.Errorf("telemetry: op %q quantiles not ordered (p50=%d p90=%d p99=%d)",
 				h.Op, h.P50Ns, h.P90Ns, h.P99Ns)
+		}
+	}
+	for i, g := range s.Gauges {
+		if g.Name == "" {
+			return fmt.Errorf("telemetry: gauge entry with empty name")
+		}
+		if i > 0 && g.Name <= s.Gauges[i-1].Name {
+			return fmt.Errorf("telemetry: gauges not sorted by unique name at index %d", i)
 		}
 	}
 	for i := 1; i < len(s.Events); i++ {
