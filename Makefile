@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench-pmem bench-alloc bench-recovery bench-batching sweep docs-lint telemetry-smoke ci
+.PHONY: all build test race bench-pmem bench-alloc bench-recovery bench-batching bench-workloads sweep docs-lint telemetry-smoke ci
 
 all: build
 
@@ -57,6 +57,14 @@ docs-lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/docslint
 
+# bench-workloads runs the open/closed-loop workload scenario matrix (see
+# internal/bench/workload.go) and schema-gates the result through
+# telemetryvet. Deterministic given -seed: this exact invocation regenerates
+# the checked-in BENCH_workloads.json byte for byte.
+bench-workloads:
+	$(GO) run ./cmd/benchrunner -workloads -seed 1 -out BENCH_workloads.json
+	$(GO) run ./cmd/telemetryvet BENCH_workloads.json
+
 # telemetry-smoke runs a short instrumented figure sweep and validates the
 # emitted snapshot against the repro-telemetry/1 schema (see
 # internal/telemetry and cmd/telemetryvet).
@@ -74,4 +82,5 @@ ci:
 	$(MAKE) bench-alloc
 	$(MAKE) bench-recovery
 	$(MAKE) bench-batching
+	$(MAKE) bench-workloads
 	$(MAKE) telemetry-smoke

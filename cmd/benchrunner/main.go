@@ -32,6 +32,9 @@ func main() {
 		recWorkers = flag.String("recovery-workers", "1,2,4,8", "comma-separated engine worker counts for -recovery")
 		recTrials  = flag.Int("recovery-trials", 3, "trials per recovery data point")
 		recThreads = flag.Int("recovery-threads", 8, "crashed application threads for -recovery")
+		workloads  = flag.Bool("workloads", false, "run the open/closed-loop workload scenario matrix instead of a figure")
+		wlOps      = flag.Int("workload-ops", 0, "operations per workload phase (0: default)")
+		wlThreads  = flag.Int("workload-threads", 0, "modeled servers per workload scenario (0: default)")
 		out        = flag.String("out", "", "write substrate JSON to this file instead of stdout")
 		teleOut    = flag.String("telemetry", "", "observe the figure runs and write a telemetry snapshot (JSON) to this file")
 		progress   = flag.Duration("progress", 2*time.Second, "telemetry progress-line interval (0 disables; needs -telemetry)")
@@ -64,6 +67,35 @@ func main() {
 		}
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if *out != "" {
+			if err := os.WriteFile(*out, data, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
+		os.Stdout.Write(data)
+		return
+	}
+
+	if *workloads {
+		rep, err := bench.Workloads(bench.WorkloadOptions{
+			Seed: *seed, Threads: *wlThreads, OpsPerPhase: *wlOps,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		data, err := rep.MarshalIndentJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := bench.ValidateWorkloadsJSON(data); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -133,7 +165,8 @@ func main() {
 	if *experiment == "" {
 		fmt.Fprintln(os.Stderr, "usage: benchrunner -experiment fig3a [-threads 1,2,4] [-duration 500ms]\n"+
 			"       benchrunner -substrate [-threads 1,2,4,8,16] [-out BENCH_pmem.json]\n"+
-			"       benchrunner -recovery [-recovery-sizes 4096,32768] [-recovery-workers 1,2,4,8] [-out BENCH_recovery.json]")
+			"       benchrunner -recovery [-recovery-sizes 4096,32768] [-recovery-workers 1,2,4,8] [-out BENCH_recovery.json]\n"+
+			"       benchrunner -workloads [-seed 1] [-workload-ops 12000] [-out BENCH_workloads.json]")
 		os.Exit(2)
 	}
 	opts := bench.Options{Threads: ths, Duration: *duration, Seed: *seed, BatchOps: *batchOps}

@@ -1,24 +1,36 @@
-// Command telemetryvet validates telemetry snapshot files against the
-// repro-telemetry/1 schema: well-formed JSON with no unknown fields,
-// internally consistent per-site counters and latency histograms, and a
-// monotone event trace. The CI telemetry-smoke gate runs it over the
-// snapshot a short benchrunner -telemetry run produces.
+// Command telemetryvet validates the JSON artifacts the benchmark harness
+// emits. It dispatches on each file's top-level "schema" tag:
 //
-//	telemetryvet telemetry.json [more.json ...]
+//   - repro-telemetry/1: a telemetry snapshot — well-formed JSON with no
+//     unknown fields, internally consistent per-site counters and latency
+//     histograms (ordered p50 ≤ p90 ≤ p99 ≤ p99.9), and a monotone event
+//     trace.
+//   - repro-workloads/1: a workload-scenario report — ordered quantiles per
+//     phase and class, class counts summing to the phase's operations, and
+//     a calibrated arrival gap on every open-loop scenario.
+//
+// Files carrying any other schema tag (or none) are rejected, so format
+// drift fails CI instead of passing unexamined. The telemetry-smoke and
+// bench-workloads CI gates run it over the artifacts short benchrunner runs
+// produce.
+//
+//	telemetryvet telemetry.json BENCH_workloads.json [more.json ...]
 //
 // Exits non-zero (naming the offending file) on the first violation.
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 
+	"repro/internal/bench"
 	"repro/internal/telemetry"
 )
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: telemetryvet snapshot.json [more.json ...]")
+		fmt.Fprintln(os.Stderr, "usage: telemetryvet artifact.json [more.json ...]")
 		os.Exit(2)
 	}
 	for _, path := range os.Args[1:] {
@@ -27,10 +39,31 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := telemetry.ValidateSnapshotJSON(data); err != nil {
+		schema, err := vet(data)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
 			os.Exit(1)
 		}
-		fmt.Printf("%s: ok\n", path)
+		fmt.Printf("%s: ok (%s)\n", path, schema)
+	}
+}
+
+// vet validates data against the validator its schema tag selects and
+// returns the tag.
+func vet(data []byte) (string, error) {
+	var head struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		return "", fmt.Errorf("decode: %w", err)
+	}
+	switch head.Schema {
+	case telemetry.SchemaVersion:
+		return head.Schema, telemetry.ValidateSnapshotJSON(data)
+	case bench.WorkloadsSchema:
+		return head.Schema, bench.ValidateWorkloadsJSON(data)
+	default:
+		return "", fmt.Errorf("unknown schema %q (known: %q, %q)",
+			head.Schema, telemetry.SchemaVersion, bench.WorkloadsSchema)
 	}
 }

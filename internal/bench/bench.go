@@ -1,6 +1,6 @@
 // Package bench is the experiment harness reproducing the evaluation of
 // Attiya et al. (PPoPP 2022), Section 5. It runs the paper's workloads —
-// keys uniform in [1,500], a list preloaded with 250 random inserts,
+// keys uniform in [1,500], a list preloaded with 250 distinct random keys,
 // read-intensive (70% Find) and update-intensive (30% Find) mixes — over
 // every evaluated implementation, measures throughput and persistence-
 // instruction counts, classifies pwb code lines into Low/Medium/High impact
@@ -59,7 +59,7 @@ type Workload struct {
 }
 
 // ReadIntensive is the paper's 70%-find mix over keys [1,500], preloaded
-// with 250 inserts (an almost 40%-full list).
+// with 250 distinct keys (a half-full list; see preloadKeys).
 func ReadIntensive() Workload { return Workload{KeyRange: 500, Preload: 250, FindPct: 70} }
 
 // UpdateIntensive is the paper's 30%-find mix.
@@ -166,42 +166,59 @@ func build(cfg Config) (*instance, error) {
 		Cost:          cfg.Cost,
 	})
 	inst := &instance{pool: pool}
-	switch cfg.Algo {
+	runner, err := newStructure(inst, cfg.Algo, cfg.Threads+1, 0, words/8,
+		cfg.TrackingNoReadOnlyOpt)
+	if err != nil {
+		return nil, err
+	}
+	inst.runner = runner
+	return inst, nil
+}
+
+// newStructure constructs one instance of algo on inst's already-built pool
+// and returns its per-thread runner factory. maxThreads bounds the
+// per-thread state the structure allocates, rootSlot anchors its durable
+// root — the multi-tenant workload engine places several structures on one
+// pool, one root slot each — and regionWords sizes the duplicated/logged
+// region of the TM-style algorithms (Romulus, RedoOpt).
+func newStructure(inst *instance, algo Algo, maxThreads, rootSlot, regionWords int,
+	noReadOnlyOpt bool) (func(tid int) opRunner, error) {
+	pool := inst.pool
+	switch algo {
 	case AlgoTracking:
-		l := rlist.New(pool, cfg.Threads+1, 0)
-		if cfg.TrackingNoReadOnlyOpt {
+		l := rlist.New(pool, maxThreads, rootSlot)
+		if noReadOnlyOpt {
 			l.SetReadOnlyOpt(false)
 		}
-		inst.runner = func(tid int) opRunner { return l.Handle(inst.newThread(tid)) }
+		return func(tid int) opRunner { return l.Handle(inst.newThread(tid)) }, nil
 	case AlgoTrackingBST:
-		tr := rbst.New(pool, cfg.Threads+1, 0)
-		inst.runner = func(tid int) opRunner { return tr.Handle(inst.newThread(tid)) }
+		tr := rbst.New(pool, maxThreads, rootSlot)
+		return func(tid int) opRunner { return tr.Handle(inst.newThread(tid)) }, nil
 	case AlgoTrackingMap:
-		m := rhash.New(pool, 64, cfg.Threads+1, 0)
-		inst.runner = func(tid int) opRunner { return m.Handle(inst.newThread(tid)) }
+		m := rhash.New(pool, 64, maxThreads, rootSlot)
+		return func(tid int) opRunner { return m.Handle(inst.newThread(tid)) }, nil
 	case AlgoCapsules:
-		l := capsules.New(pool, capsules.VariantFull, cfg.Threads+1, 0)
-		inst.runner = func(tid int) opRunner { return l.Handle(inst.newThread(tid)) }
+		l := capsules.New(pool, capsules.VariantFull, maxThreads, rootSlot)
+		return func(tid int) opRunner { return l.Handle(inst.newThread(tid)) }, nil
 	case AlgoCapsulesOpt:
-		l := capsules.New(pool, capsules.VariantOpt, cfg.Threads+1, 0)
-		inst.runner = func(tid int) opRunner { return l.Handle(inst.newThread(tid)) }
+		l := capsules.New(pool, capsules.VariantOpt, maxThreads, rootSlot)
+		return func(tid int) opRunner { return l.Handle(inst.newThread(tid)) }, nil
 	case AlgoHarris:
-		l := capsules.New(pool, capsules.VariantNone, cfg.Threads+1, 0)
-		inst.runner = func(tid int) opRunner { return l.Handle(inst.newThread(tid)) }
+		l := capsules.New(pool, capsules.VariantNone, maxThreads, rootSlot)
+		return func(tid int) opRunner { return l.Handle(inst.newThread(tid)) }, nil
 	case AlgoRomulus:
 		// The TM region is a fraction of the arena (it is duplicated).
-		tm := romulus.NewTM(pool, words/8, cfg.Threads+1, 0)
+		tm := romulus.NewTM(pool, regionWords, maxThreads, rootSlot)
 		l := romulus.NewList(tm, inst.newThread(0))
-		inst.runner = func(tid int) opRunner {
+		return func(tid int) opRunner {
 			return &romulusRunner{tm: tm, l: l, ctx: inst.newThread(tid)}
-		}
+		}, nil
 	case AlgoRedoOpt:
-		s := redolog.New(pool, words/8, cfg.Threads+1, 0)
-		inst.runner = func(tid int) opRunner { return s.Handle(inst.newThread(tid)) }
+		s := redolog.New(pool, regionWords, maxThreads, rootSlot)
+		return func(tid int) opRunner { return s.Handle(inst.newThread(tid)) }, nil
 	default:
-		return nil, fmt.Errorf("bench: unknown algorithm %q", cfg.Algo)
+		return nil, fmt.Errorf("bench: unknown algorithm %q", algo)
 	}
-	return inst, nil
 }
 
 // romulusRunner adapts the TM list to the uniform interface.
@@ -331,8 +348,8 @@ func Run(cfg Config) (Result, error) {
 	// structure with 250 random inserts before measuring.
 	pre := inst.runner(0)
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	for i := 0; i < cfg.Workload.Preload; i++ {
-		pre.Insert(rng.Int63n(cfg.Workload.KeyRange) + 1)
+	for _, key := range preloadKeys(cfg.Workload, rng) {
+		pre.Insert(key)
 	}
 
 	// Telemetry attaches after the preload so the registry, like base,
@@ -352,7 +369,7 @@ func Run(cfg Config) (Result, error) {
 			defer wg.Done()
 			workerLabels(&cfg, tid, func() {
 				r := inst.runner(tid)
-				rng := rand.New(rand.NewSource(cfg.Seed + int64(tid)*7919))
+				rng := rand.New(rand.NewSource(threadSeed(cfg.Seed, tid)))
 				ops := uint64(0)
 				for !stop.Load() {
 					for i := 0; i < opBatch; i++ {

@@ -1,0 +1,132 @@
+package bench
+
+// Open-loop arrival pacing in virtual time.
+//
+// A closed-loop benchmark loop (each thread issues its next operation the
+// moment the previous one returns) measures service time only: when the
+// system stalls — a psync taking a millisecond instead of a microsecond —
+// the loop politely stops offering load, the operations that *would* have
+// arrived during the stall are never issued, and the tail quantiles never
+// see them. This is coordinated omission, and it is exactly the shape of
+// every benchmark the repo had before the workload engine: a stall shows
+// up as one slow operation instead of the queue of delayed ones a
+// production arrival stream would experience.
+//
+// The pacer instead models an open loop: operations arrive on their own
+// schedule (a jittered deterministic arrival process), queue FCFS for one
+// of a fixed set of servers (the modeled worker threads), and each
+// operation's latency is charged from its *intended arrival* — queueing
+// delay included — to its completion. A 100µs stall at a 1µs arrival gap
+// therefore surfaces as ~100 operations with elevated latency, which is
+// what p99.9 is for.
+//
+// Time here is virtual (nanoseconds on a simulated clock), not wall time:
+// service times come from the pmem cost model's charged stall units (see
+// workload.go), arrivals advance by seeded jittered gaps, and the queueing
+// arithmetic below is exact integer bookkeeping. That makes the whole
+// engine deterministic for a given seed — BENCH_workloads.json is
+// byte-reproducible — the same trade the recovery-latency benchmark makes
+// when it reports modeled phase times instead of a time-shared host's wall
+// clock (see recovery.go).
+
+import "math/rand"
+
+// pacer simulates a FCFS multi-server queue in virtual time. One pacer
+// spans a scenario: completion horizons carry across phases, so a backlog
+// built by a burst or stall phase drains into the next phase exactly as a
+// live system's queue would.
+type pacer struct {
+	open    bool
+	gapNs   int64      // mean intended inter-arrival gap (open loop)
+	jrng    *rand.Rand // arrival-jitter stream
+	arrival int64      // intended-arrival clock, virtual ns
+	free    []int64    // per-server completion horizon, virtual ns
+}
+
+// newPacer returns a pacer over the given number of modeled servers.
+// jrng drives arrival jitter and must be dedicated to this pacer.
+func newPacer(servers int, open bool, jrng *rand.Rand) *pacer {
+	return &pacer{open: open, jrng: jrng, free: make([]int64, servers)}
+}
+
+// setGap sets the mean intended inter-arrival gap for subsequent
+// dispatches. Phase schedules call it at phase boundaries (a burst phase
+// divides the gap); closed-loop pacers ignore it.
+func (p *pacer) setGap(gap int64) { p.gapNs = gap }
+
+// pickServer returns the server that frees up earliest — the one a FCFS
+// dispatcher would hand the next operation to.
+func (p *pacer) pickServer() int {
+	s := 0
+	for i := 1; i < len(p.free); i++ {
+		if p.free[i] < p.free[s] {
+			s = i
+		}
+	}
+	return s
+}
+
+// horizon returns the latest completion time across all servers: the
+// virtual clock at which everything dispatched so far has finished.
+func (p *pacer) horizon() int64 {
+	h := p.free[0]
+	for _, f := range p.free[1:] {
+		if f > h {
+			h = f
+		}
+	}
+	return h
+}
+
+// alignArrival fast-forwards the arrival clock to the completion horizon,
+// so arrivals paced after a warmup/calibration prefix are not charged as
+// if they had queued behind it.
+func (p *pacer) alignArrival() { p.arrival = p.horizon() }
+
+// dispatchClosed charges one operation closed-loop on server s: the next
+// operation starts the instant the previous one completes, and the
+// recorded latency is the service time alone. This is the measurement
+// shape the pre-engine benchmarks had, kept as the explicit comparison
+// point that demonstrates what coordinated omission hides.
+func (p *pacer) dispatchClosed(s int, serviceNs int64) int64 {
+	p.free[s] += serviceNs
+	return serviceNs
+}
+
+// blockAll blocks every server until server s's current completion
+// horizon: an injected device-wide persistence stall (a psync write-buffer
+// drain) gates all threads, not just the issuing one. Closed-loop, the
+// other servers simply start their next operation later — their recorded
+// latencies are untouched; open-loop, the arrivals that land during the
+// stall queue and are charged their wait.
+func (p *pacer) blockAll(s int) {
+	until := p.free[s]
+	for i := range p.free {
+		if p.free[i] < until {
+			p.free[i] = until
+		}
+	}
+}
+
+// dispatch charges one operation on server s and returns its recorded
+// latency. Open-loop: the operation's intended arrival advances the
+// arrival clock by a jittered gap (uniform on [gap/2, 3·gap/2], so the
+// mean is the configured gap), execution starts at max(arrival, server
+// free), and the latency runs from the intended arrival to completion —
+// an operation that had to queue is charged its wait.
+func (p *pacer) dispatch(s int, serviceNs int64) int64 {
+	if !p.open {
+		return p.dispatchClosed(s, serviceNs)
+	}
+	gap := p.gapNs
+	if gap > 0 {
+		gap = gap/2 + p.jrng.Int63n(gap+1)
+	}
+	p.arrival += gap
+	start := p.arrival
+	if p.free[s] > start {
+		start = p.free[s]
+	}
+	p.free[s] = start + serviceNs
+	return p.free[s] - p.arrival
+}

@@ -34,8 +34,8 @@ func Prepare(cfg Config) (*Runner, error) {
 	applySiteConfig(inst.pool, cfg)
 	pre := inst.runner(0)
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	for i := 0; i < cfg.Workload.Preload; i++ {
-		pre.Insert(rng.Int63n(cfg.Workload.KeyRange) + 1)
+	for _, key := range preloadKeys(cfg.Workload, rng) {
+		pre.Insert(key)
 	}
 	// Telemetry attaches after the preload so the registry, like base,
 	// sees only the measured phase.
@@ -67,7 +67,7 @@ func (r *Runner) RunOps(n int) int {
 		go func(tid int) {
 			defer wg.Done()
 			run := r.inst.runner(tid)
-			rng := rand.New(rand.NewSource(r.cfg.Seed + int64(tid)*7919))
+			rng := rand.New(rand.NewSource(threadSeed(r.cfg.Seed, tid)))
 			for {
 				before := remaining.Add(-opBatch) + opBatch
 				if before <= 0 {

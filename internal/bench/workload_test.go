@@ -1,0 +1,341 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPreloadKeysDistinct pins the preload fix: exactly Preload distinct
+// in-range keys, clamped at KeyRange.
+func TestPreloadKeysDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	keys := preloadKeys(Workload{KeyRange: 100, Preload: 50}, rng)
+	if len(keys) != 50 {
+		t.Fatalf("got %d keys, want 50", len(keys))
+	}
+	seen := map[int64]bool{}
+	for _, k := range keys {
+		if k < 1 || k > 100 {
+			t.Fatalf("key %d out of range [1,100]", k)
+		}
+		if seen[k] {
+			t.Fatalf("duplicate key %d", k)
+		}
+		seen[k] = true
+	}
+	if got := preloadKeys(Workload{KeyRange: 10, Preload: 25}, rng); len(got) != 10 {
+		t.Fatalf("overfull preload: got %d keys, want clamp to 10", len(got))
+	}
+	if got := preloadKeys(Workload{KeyRange: 10, Preload: 0}, rng); len(got) != 0 {
+		t.Fatalf("zero preload: got %d keys", len(got))
+	}
+}
+
+// TestPreparePreloadOccupancy is the regression test for the
+// draw-with-replacement preload bug: after Prepare, the structure holds
+// exactly Workload.Preload keys. (At KeyRange 100 / Preload 50 the old
+// preload landed near 39 in expectation and only ever reached 50 by luck.)
+func TestPreparePreloadOccupancy(t *testing.T) {
+	for _, algo := range []Algo{AlgoTracking, AlgoTrackingMap} {
+		r, err := Prepare(Config{
+			Algo: algo, Threads: 1, Seed: 3,
+			Workload: Workload{KeyRange: 100, Preload: 50, FindPct: 100},
+			PoolWords: 1 << 16,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		probe := r.inst.runner(1)
+		occupancy := 0
+		for k := int64(1); k <= 100; k++ {
+			if probe.Find(k) {
+				occupancy++
+			}
+		}
+		if occupancy != 50 {
+			t.Errorf("%s: post-preload occupancy %d, want exactly 50", algo, occupancy)
+		}
+	}
+}
+
+// TestThreadSeedDecorrelated pins the splitmix derivation: distinct,
+// non-linear seeds, and key streams that do not collide between adjacent
+// threads the way the old seed+tid·7919 scheme's did.
+func TestThreadSeedDecorrelated(t *testing.T) {
+	seen := map[int64]bool{}
+	for idx := 0; idx < 1000; idx++ {
+		s := threadSeed(42, idx)
+		if seen[s] {
+			t.Fatalf("seed collision at idx %d", idx)
+		}
+		seen[s] = true
+	}
+	// Adjacent-thread streams must diverge immediately: with 64-key draws
+	// two independent streams agree per position with p=1/64, so 100
+	// positions agreeing more than ~20 times means correlation.
+	a := rand.New(rand.NewSource(threadSeed(42, 1)))
+	b := rand.New(rand.NewSource(threadSeed(42, 2)))
+	agree := 0
+	for i := 0; i < 100; i++ {
+		if a.Int63n(64) == b.Int63n(64) {
+			agree++
+		}
+	}
+	if agree > 20 {
+		t.Fatalf("adjacent thread streams agree on %d/100 draws", agree)
+	}
+}
+
+// TestZipfShape checks the Zipfian generator against the analytic
+// distribution: per-rank mass 1/(r^θ·ζ(n,θ)), seeded and sampled tightly
+// enough that 5% relative tolerance on the head holds deterministically.
+func TestZipfShape(t *testing.T) {
+	const (
+		n     = 1000
+		theta = 0.99
+		draws = 200000
+	)
+	g := newZipfGen(n, theta)
+	rng := rand.New(rand.NewSource(11))
+	counts := make([]int, n+1)
+	for i := 0; i < draws; i++ {
+		k := g.next(rng)
+		if k < 1 || k > n {
+			t.Fatalf("draw %d out of range [1,%d]", k, n)
+		}
+		counts[k]++
+	}
+	zetan := 0.0
+	for i := 1; i <= n; i++ {
+		zetan += 1 / math.Pow(float64(i), theta)
+	}
+	// Head ranks individually within 5%.
+	for r := 1; r <= 3; r++ {
+		want := draws / math.Pow(float64(r), theta) / zetan
+		got := float64(counts[r])
+		if math.Abs(got-want) > 0.05*want {
+			t.Errorf("rank %d: %0.f draws, want %.0f ±5%%", r, got, want)
+		}
+	}
+	// Top-10 mass within 2% of analytic.
+	var top10 float64
+	wantTop10 := 0.0
+	for r := 1; r <= 10; r++ {
+		top10 += float64(counts[r])
+		wantTop10 += draws / math.Pow(float64(r), theta) / zetan
+	}
+	if math.Abs(top10-wantTop10) > 0.02*wantTop10 {
+		t.Errorf("top-10 mass %.0f, want %.0f ±2%%", top10, wantTop10)
+	}
+	// Monotone by construction of the inversion: deep tail much lighter
+	// than the head.
+	if counts[1] <= counts[n/2] {
+		t.Errorf("rank 1 (%d draws) not hotter than rank %d (%d draws)",
+			counts[1], n/2, counts[n/2])
+	}
+}
+
+// TestHotKeyMass checks the hot-key generator's traffic split.
+func TestHotKeyMass(t *testing.T) {
+	g := newKeyGen(KeyDist{Kind: DistHotKey, HotOpsPct: 90, HotKeysPct: 10}, 1000)
+	rng := rand.New(rand.NewSource(13))
+	const draws = 100000
+	hot := 0
+	for i := 0; i < draws; i++ {
+		k := g.next(rng)
+		if k < 1 || k > 1000 {
+			t.Fatalf("draw %d out of range", k)
+		}
+		if k <= 100 {
+			hot++
+		}
+	}
+	frac := float64(hot) / draws
+	if math.Abs(frac-0.9) > 0.01 {
+		t.Errorf("hot-set mass %.3f, want 0.90 ±0.01", frac)
+	}
+}
+
+// stallScenarios is the coordinated-omission pair, shrunk for test speed.
+func stallScenarios() []Scenario {
+	stall := WorkloadPhase{
+		Name: "stalls", Dist: KeyDist{Kind: DistUniform}, FindPct: 30,
+		StallEveryOps: 2000, StallNs: 100_000,
+	}
+	tenant := Tenant{Algo: AlgoTrackingMap, KeyRange: 1024, Preload: 512}
+	return []Scenario{
+		{Name: "closed", Tenants: []Tenant{tenant}, Phases: []WorkloadPhase{stall}},
+		{Name: "open", Tenants: []Tenant{tenant}, OpenLoop: true,
+			TargetUtilPct: 30, Phases: []WorkloadPhase{stall}},
+	}
+}
+
+// TestOpenLoopStallVisibility is the engine's reason to exist: an injected
+// device stall must surface in the open-loop p99.9 while the closed-loop
+// run hides it (its p99.9 stays at the no-stall level; only the max — and
+// the throughput dip — betray it), and neither loop's median moves.
+func TestOpenLoopStallVisibility(t *testing.T) {
+	rep, err := Workloads(WorkloadOptions{
+		Seed: 5, Threads: 4, OpsPerPhase: 8000,
+		Scenarios: stallScenarios(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed, open := rep.Scenarios[0].Phases[0], rep.Scenarios[1].Phases[0]
+	if closed.MaxNs < 100_000 {
+		t.Fatalf("closed max %dns: stall not injected", closed.MaxNs)
+	}
+	if closed.P99_9Ns >= 50_000 {
+		t.Errorf("closed p99.9 %dns sees the stall; coordinated omission should hide it", closed.P99_9Ns)
+	}
+	if open.P99_9Ns < 50_000 {
+		t.Errorf("open p99.9 %dns misses the stall's queue", open.P99_9Ns)
+	}
+	if closed.P50Ns >= 10_000 || open.P50Ns >= 10_000 {
+		t.Errorf("medians moved (closed %dns, open %dns); stall should be tail-only",
+			closed.P50Ns, open.P50Ns)
+	}
+}
+
+// TestWorkloadsDeterministic pins the acceptance contract: the same seed
+// yields byte-identical report JSON, and the report validates.
+func TestWorkloadsDeterministic(t *testing.T) {
+	opts := WorkloadOptions{Seed: 9, Threads: 3, OpsPerPhase: 3000,
+		Scenarios: stallScenarios()}
+	a, err := Workloads(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Workloads(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := a.MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatal("same seed produced different report JSON")
+	}
+	if err := ValidateWorkloadsJSON(aj); err != nil {
+		t.Fatalf("report does not validate: %v", err)
+	}
+	c, err := Workloads(WorkloadOptions{Seed: 10, Threads: 3, OpsPerPhase: 3000,
+		Scenarios: stallScenarios()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cj, err := c.MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(aj, cj) {
+		t.Fatal("different seeds produced identical report JSON")
+	}
+}
+
+// TestMultiTenantScenario runs two structures against one pool and checks
+// both actually receive traffic.
+func TestMultiTenantScenario(t *testing.T) {
+	rep, err := Workloads(WorkloadOptions{
+		Seed: 2, Threads: 2, OpsPerPhase: 2000,
+		Scenarios: []Scenario{{
+			Name: "mt",
+			Tenants: []Tenant{
+				{Algo: AlgoTracking, KeyRange: 128, Preload: 64},
+				{Algo: AlgoTrackingMap, Weight: 2, KeyRange: 1024, Preload: 512},
+			},
+			OpenLoop: true,
+			Phases: []WorkloadPhase{
+				{Name: "steady", Dist: KeyDist{Kind: DistZipfian, Theta: 0.99}, FindPct: 50},
+			},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := rep.Scenarios[0]
+	if len(sc.Tenants) != 2 || sc.Tenants[0].Weight != 1 || sc.Tenants[1].Weight != 2 {
+		t.Fatalf("tenant echo wrong: %+v", sc.Tenants)
+	}
+	ph := sc.Phases[0]
+	var ops uint64
+	for _, c := range ph.Classes {
+		ops += c.Count
+	}
+	if ops != uint64(ph.Ops) {
+		t.Fatalf("class counts sum %d != ops %d", ops, ph.Ops)
+	}
+}
+
+// TestValidateWorkloadsJSONRejects drives the validator over corrupted
+// variants of a real report.
+func TestValidateWorkloadsJSONRejects(t *testing.T) {
+	rep, err := Workloads(WorkloadOptions{Seed: 4, Threads: 2, OpsPerPhase: 1000,
+		Scenarios: stallScenarios()[1:]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, err := rep.MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateWorkloadsJSON(valid); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	corrupt := func(f func(m map[string]any)) []byte {
+		var m map[string]any
+		if err := json.Unmarshal(valid, &m); err != nil {
+			t.Fatal(err)
+		}
+		f(m)
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	phase := func(m map[string]any) map[string]any {
+		sc := m["scenarios"].([]any)[0].(map[string]any)
+		return sc["phases"].([]any)[0].(map[string]any)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"unknown schema", corrupt(func(m map[string]any) { m["schema"] = "repro-workloads/9" })},
+		{"unknown field", corrupt(func(m map[string]any) { m["surprise"] = 1 })},
+		{"unordered quantiles", corrupt(func(m map[string]any) {
+			ph := phase(m)
+			ph["p99_ns"] = ph["p99_9_ns"].(float64) + 1
+		})},
+		{"empty tail", corrupt(func(m map[string]any) {
+			ph := phase(m)
+			ph["p50_ns"] = 0.0
+			ph["p90_ns"] = 0.0
+			ph["p99_ns"] = 0.0
+			ph["p99_9_ns"] = 0.0
+		})},
+		{"missing arrival gap", corrupt(func(m map[string]any) {
+			delete(m["scenarios"].([]any)[0].(map[string]any), "arrival_gap_ns")
+		})},
+		{"class sum mismatch", corrupt(func(m map[string]any) {
+			cl := phase(m)["classes"].([]any)[0].(map[string]any)
+			cl["count"] = cl["count"].(float64) + 1
+		})},
+		{"no scenarios", corrupt(func(m map[string]any) { m["scenarios"] = []any{} })},
+	}
+	for _, tc := range cases {
+		if err := ValidateWorkloadsJSON(tc.data); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

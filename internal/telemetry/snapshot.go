@@ -289,8 +289,12 @@ func ValidateSnapshotJSON(data []byte) error {
 			if b.Count == 0 {
 				return fmt.Errorf("telemetry: op %q has an empty exported bucket", h.Op)
 			}
-			if !first && b.MaxNs <= prev {
-				return fmt.Errorf("telemetry: op %q buckets not ascending", h.Op)
+			if b.MinNs > b.MaxNs {
+				return fmt.Errorf("telemetry: op %q bucket bounds inverted (%d > %d)",
+					h.Op, b.MinNs, b.MaxNs)
+			}
+			if !first && b.MinNs <= prev {
+				return fmt.Errorf("telemetry: op %q buckets not ascending and disjoint", h.Op)
 			}
 			first, prev = false, b.MaxNs
 			sum += b.Count
@@ -298,9 +302,9 @@ func ValidateSnapshotJSON(data []byte) error {
 		if sum != h.Count {
 			return fmt.Errorf("telemetry: op %q bucket sum %d != count %d", h.Op, sum, h.Count)
 		}
-		if h.P50Ns > h.P90Ns || h.P90Ns > h.P99Ns {
-			return fmt.Errorf("telemetry: op %q quantiles not ordered (p50=%d p90=%d p99=%d)",
-				h.Op, h.P50Ns, h.P90Ns, h.P99Ns)
+		if h.P50Ns > h.P90Ns || h.P90Ns > h.P99Ns || h.P99Ns > h.P99_9Ns {
+			return fmt.Errorf("telemetry: op %q quantiles not ordered (p50=%d p90=%d p99=%d p99.9=%d)",
+				h.Op, h.P50Ns, h.P90Ns, h.P99Ns, h.P99_9Ns)
 		}
 	}
 	for i, g := range s.Gauges {

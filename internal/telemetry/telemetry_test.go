@@ -283,6 +283,22 @@ func TestValidateSnapshotJSONRejects(t *testing.T) {
 			s.Ops = append(s.Ops, HistogramSnapshot{Op: "find", Count: 1, P50Ns: 9, P90Ns: 3, P99Ns: 10,
 				Buckets: []HistBucket{{MaxNs: 1, Count: 1}}})
 		}},
+		{"tail-quantile-order", func(s *Snapshot) {
+			s.Ops = append(s.Ops, HistogramSnapshot{Op: "find", Count: 1,
+				P50Ns: 1, P90Ns: 1, P99Ns: 10, P99_9Ns: 5,
+				Buckets: []HistBucket{{MinNs: 1, MaxNs: 1, Count: 1}}})
+		}},
+		{"bucket-bounds-inverted", func(s *Snapshot) {
+			s.Ops = append(s.Ops, HistogramSnapshot{Op: "find", Count: 1,
+				Buckets: []HistBucket{{MinNs: 5, MaxNs: 3, Count: 1}}})
+		}},
+		{"buckets-overlap", func(s *Snapshot) {
+			s.Ops = append(s.Ops, HistogramSnapshot{Op: "find", Count: 2,
+				Buckets: []HistBucket{
+					{MinNs: 1, MaxNs: 4, Count: 1},
+					{MinNs: 4, MaxNs: 8, Count: 1},
+				}})
+		}},
 		{"trace-order", func(s *Snapshot) {
 			s.EventsSeen = 2
 			s.Events = []EventSnapshot{{Seq: 5, Kind: "pwb"}, {Seq: 4, Kind: "pwb"}}
