@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench-pmem bench-alloc bench-recovery bench-batching bench-workloads sweep docs-lint telemetry-smoke ci
+.PHONY: all build test race bench-pmem bench-alloc bench-recovery bench-batching bench-workloads kvstore-smoke sweep docs-lint telemetry-smoke ci
 
 all: build
 
@@ -65,6 +65,16 @@ bench-workloads:
 	$(GO) run ./cmd/benchrunner -workloads -seed 1 -out BENCH_workloads.json
 	$(GO) run ./cmd/telemetryvet BENCH_workloads.json
 
+# kvstore-smoke regenerates only the sharded-store workload rows (16/32/64
+# shards behind one root slot each) at reduced op counts and schema-gates
+# them through telemetryvet: every row must carry per-shard traffic and the
+# recovery-cost block (see internal/bench/kvtenant.go and docs/kvstore.md).
+kvstore-smoke:
+	$(GO) run ./cmd/benchrunner -workloads -workload-filter kvstore- -seed 1 \
+		-workload-ops 4000 -out kvstore_smoke.json
+	$(GO) run ./cmd/telemetryvet kvstore_smoke.json
+	@rm -f kvstore_smoke.json
+
 # telemetry-smoke runs a short instrumented figure sweep and validates the
 # emitted snapshot against the repro-telemetry/1 schema (see
 # internal/telemetry and cmd/telemetryvet).
@@ -83,4 +93,5 @@ ci:
 	$(MAKE) bench-recovery
 	$(MAKE) bench-batching
 	$(MAKE) bench-workloads
+	$(MAKE) kvstore-smoke
 	$(MAKE) telemetry-smoke

@@ -35,6 +35,7 @@ func main() {
 		workloads  = flag.Bool("workloads", false, "run the open/closed-loop workload scenario matrix instead of a figure")
 		wlOps      = flag.Int("workload-ops", 0, "operations per workload phase (0: default)")
 		wlThreads  = flag.Int("workload-threads", 0, "modeled servers per workload scenario (0: default)")
+		wlFilter   = flag.String("workload-filter", "", "run only the default workload scenarios whose name contains this substring")
 		out        = flag.String("out", "", "write substrate JSON to this file instead of stdout")
 		teleOut    = flag.String("telemetry", "", "observe the figure runs and write a telemetry snapshot (JSON) to this file")
 		progress   = flag.Duration("progress", 2*time.Second, "telemetry progress-line interval (0 disables; needs -telemetry)")
@@ -83,9 +84,21 @@ func main() {
 	}
 
 	if *workloads {
-		rep, err := bench.Workloads(bench.WorkloadOptions{
+		wlOpts := bench.WorkloadOptions{
 			Seed: *seed, Threads: *wlThreads, OpsPerPhase: *wlOps,
-		})
+		}
+		if *wlFilter != "" {
+			for _, sc := range bench.DefaultWorkloadScenarios() {
+				if strings.Contains(sc.Name, *wlFilter) {
+					wlOpts.Scenarios = append(wlOpts.Scenarios, sc)
+				}
+			}
+			if len(wlOpts.Scenarios) == 0 {
+				fmt.Fprintf(os.Stderr, "no workload scenario matches %q\n", *wlFilter)
+				os.Exit(2)
+			}
+		}
+		rep, err := bench.Workloads(wlOpts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -9,7 +9,8 @@
 //
 // With no arguments it checks the default policy set: internal/chaos (and
 // its sweep subpackage), internal/histcheck, internal/tracking,
-// internal/pmem, internal/telemetry, internal/recovery and internal/rmm.
+// internal/pmem, internal/telemetry, internal/recovery, internal/rmm and
+// internal/kvstore.
 // Exit status 1 lists every undocumented symbol as file:line: name.
 package main
 
@@ -35,6 +36,7 @@ var defaultDirs = []string{
 	"internal/telemetry",
 	"internal/recovery",
 	"internal/rmm",
+	"internal/kvstore",
 }
 
 func main() {

@@ -43,6 +43,13 @@ const (
 	AlgoRedoOpt     Algo = "RedoOpt"       // persistent universal construction
 	AlgoHarris      Algo = "Harris"        // volatile baseline, no persistence
 	AlgoTrackingMap Algo = "Tracking-Hash" // hash map composed of Tracking lists
+	// AlgoKVStore is the sharded recoverable key/value store
+	// (internal/kvstore). It is a workload-engine tenant, not a figure
+	// series — the paper's figures compare flat set structures — so Algos()
+	// and newStructure leave it out; the workload engine constructs it
+	// specially because it needs a shard count and hangs an interior shard
+	// directory off its single root slot (see kvtenant.go).
+	AlgoKVStore Algo = "Tracking-KV"
 )
 
 // Algos lists every benchmarkable implementation.

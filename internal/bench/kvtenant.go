@@ -1,0 +1,112 @@
+package bench
+
+// The sharded kvstore rides the workload engine as a tenant like any list
+// or map, but it is constructed specially: kvstore.New needs a shard count
+// and a slot-table geometry, and the whole store — up to 64 shards — hangs
+// off the single durable root slot the scenario assigns the tenant. Shard
+// width therefore never presses against pmem.NumRootSlots: the shard
+// directory is the store's own interior root table, and the 7-slot cliff
+// buildScenario diagnoses applies to tenants, not shards.
+
+import (
+	"fmt"
+
+	"repro/internal/kvstore"
+	"repro/internal/telemetry"
+)
+
+// kvTenantSlots is each shard's slot-table capacity for workload tenants.
+// At the matrix's KeyRange 4096 even the 16-shard store peaks far below
+// 512 live keys on its hottest shard (the steady-state live set hovers
+// near KeyRange/2 spread over all shards), so ErrFull cannot distort a
+// measured run.
+const kvTenantSlots = 512
+
+// kvValue derives the value stored under a key — any fixed function works,
+// the workload only measures membership and cost.
+func kvValue(key int64) uint64 { return uint64(key)*0x9e3779b97f4a7c15 | 1 }
+
+// kvRunner adapts a store handle to the opRunner face the engine drives.
+// The geometry above guarantees capacity, so a store rejection is a harness
+// misconfiguration and panics rather than silently skewing the mix.
+type kvRunner struct{ h *kvstore.Handle }
+
+func (r kvRunner) Insert(key int64) bool {
+	absent, err := r.h.Put(key, kvValue(key), kvstore.NoExpiry)
+	if err != nil {
+		panic(fmt.Sprintf("bench: kvstore tenant Put(%d): %v", key, err))
+	}
+	return absent
+}
+
+func (r kvRunner) Delete(key int64) bool {
+	present, err := r.h.Delete(key)
+	if err != nil {
+		panic(fmt.Sprintf("bench: kvstore tenant Delete(%d): %v", key, err))
+	}
+	return present
+}
+
+func (r kvRunner) Find(key int64) bool {
+	_, ok := r.h.Get(key)
+	return ok
+}
+
+// newKVTenant constructs a kvstore tenant on the scenario's pool, rooted
+// at rootSlot, and returns its runner factory plus the store itself for
+// post-run reporting.
+func newKVTenant(inst *instance, t Tenant, maxThreads, rootSlot int) (func(tid int) opRunner, *kvstore.Store, error) {
+	s, err := kvstore.New(inst.pool, kvstore.Config{
+		Shards:        t.Shards,
+		SlotsPerShard: kvTenantSlots,
+		MaxThreads:    maxThreads,
+		RootSlot:      rootSlot,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return func(tid int) opRunner { return kvRunner{h: s.Handle(inst.newThread(tid))} }, s, nil
+}
+
+// kvTenantReport closes the loop on one kvstore tenant after the phases
+// finish: it re-runs whole-store recovery from the tenant's durable root —
+// exactly what a post-crash restart would execute on the scenario's final
+// state — and assembles the report row through the telemetry gauge
+// surface. The live store publishes the per-shard throughput gauges, the
+// recovered store the recovery-cost gauges, and the row is read back out
+// of the snapshots, so every workloads run exercises the store→telemetry
+// wiring end to end. All recovery costs are persistence-instruction
+// deltas, not wall clocks, keeping the report byte-identical given a seed.
+func kvTenantReport(run *scenarioRun, ti int, s *kvstore.Store) (KVStoreReport, error) {
+	live := telemetry.NewRegistry(telemetry.Config{})
+	s.PublishTelemetry(live)
+	rec, err := kvstore.Recover(run.inst.pool, ti)
+	if err != nil {
+		return KVStoreReport{}, fmt.Errorf("kvstore tenant %d: recover: %w", ti, err)
+	}
+	post := telemetry.NewRegistry(telemetry.Config{})
+	rec.PublishTelemetry(post)
+	lg, pg := gaugeMap(live), gaugeMap(post)
+	r := KVStoreReport{
+		Tenant:                  ti,
+		Shards:                  int(lg["kvstore-shards"]),
+		LiveBlocks:              pg["kvstore-blocks-live"],
+		RecoverySlotsReconciled: pg["kvstore-recovery-slots-reconciled"],
+		RecoveryLeaksReclaimed:  pg["kvstore-recovery-leaks-reclaimed"],
+		RecoveryPWBs:            pg["kvstore-recovery-pwbs"],
+		RecoveryPSyncs:          pg["kvstore-recovery-psyncs"],
+	}
+	for si := 0; si < r.Shards; si++ {
+		r.ShardOps = append(r.ShardOps, lg[fmt.Sprintf("kvstore-shard-%03d-ops", si)])
+	}
+	return r, nil
+}
+
+// gaugeMap flattens a registry's gauge snapshot into name→value.
+func gaugeMap(reg *telemetry.Registry) map[string]uint64 {
+	out := map[string]uint64{}
+	for _, g := range reg.Snapshot().Gauges {
+		out[g.Name] = g.Value
+	}
+	return out
+}

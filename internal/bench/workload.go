@@ -37,6 +37,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/kvstore"
 	"repro/internal/pmem"
 	"repro/internal/telemetry"
 )
@@ -233,6 +234,12 @@ type Tenant struct {
 	KeyRange int64
 	// Preload is the number of distinct keys inserted before measuring.
 	Preload int
+	// Shards is the shard count for an AlgoKVStore tenant (0 takes the
+	// store's default). The shards all live behind the tenant's single
+	// root slot — its interior shard directory — so a 64-shard store
+	// consumes exactly one of the pool's root slots. Ignored by the flat
+	// structures.
+	Shards int
 }
 
 // WorkloadPhase is one segment of a scenario's schedule.
@@ -337,6 +344,9 @@ type ScenarioReport struct {
 	CalibMeanServiceNs int64 `json:"calib_mean_service_ns"`
 	// Phases holds one entry per phase, in schedule order.
 	Phases []PhaseReport `json:"phases"`
+	// KVStores reports each kvstore tenant's shard traffic and whole-store
+	// recovery cost (present only when the scenario has sharded tenants).
+	KVStores []KVStoreReport `json:"kvstores,omitempty"`
 }
 
 // TenantReport echoes one tenant's configuration.
@@ -349,6 +359,34 @@ type TenantReport struct {
 	KeyRange int64 `json:"key_range"`
 	// Preload is the number of distinct preloaded keys.
 	Preload int `json:"preload"`
+	// Shards is the kvstore tenant's resolved shard count (omitted for
+	// the flat structures).
+	Shards int `json:"shards,omitempty"`
+}
+
+// KVStoreReport is one kvstore tenant's shard traffic and recovery cost.
+// The recovery_* fields come from re-running whole-store recovery over the
+// scenario's final durable state and are persistence-instruction deltas,
+// not wall clocks, so the report stays byte-identical given a seed.
+type KVStoreReport struct {
+	// Tenant is the index into the scenario's Tenants.
+	Tenant int `json:"tenant"`
+	// Shards is the store's shard count.
+	Shards int `json:"shards"`
+	// ShardOps is the number of operations routed to each shard over the
+	// whole scenario (preload and calibration included) — the per-shard
+	// throughput split.
+	ShardOps []uint64 `json:"shard_ops"`
+	// LiveBlocks is the number of value blocks live after recovery.
+	LiveBlocks uint64 `json:"live_blocks"`
+	// RecoverySlotsReconciled counts slots recovery had to tombstone.
+	RecoverySlotsReconciled uint64 `json:"recovery_slots_reconciled"`
+	// RecoveryLeaksReclaimed counts blocks RecoverGC swept back.
+	RecoveryLeaksReclaimed uint64 `json:"recovery_leaks_reclaimed"`
+	// RecoveryPWBs is the write-backs whole-store recovery issued.
+	RecoveryPWBs uint64 `json:"recovery_pwbs"`
+	// RecoveryPSyncs is the syncs whole-store recovery issued.
+	RecoveryPSyncs uint64 `json:"recovery_psyncs"`
 }
 
 // PhaseReport is one phase's measured latencies and persistence costs.
@@ -429,13 +467,20 @@ func (inst *instance) runnerCtx(factory func(int) opRunner, tid int) (opRunner, 
 
 // workloadPoolWords sizes each scenario's arena (16 MiB): comfortable for
 // the default matrix's preloads plus tens of thousands of inserts, small
-// enough that twelve scenarios in sequence stay cheap.
+// enough that the full scenario matrix in sequence stays cheap.
 const workloadPoolWords = 1 << 21
 
 // tenantRT is one logical server's runner for one tenant.
 type tenantRT struct {
 	run opRunner
 	ctx *pmem.ThreadCtx
+}
+
+// kvTenantRun tracks one kvstore tenant's live store for post-run
+// reporting.
+type kvTenantRun struct {
+	tenant int
+	store  *kvstore.Store
 }
 
 // scenarioRun is one scenario's constructed state.
@@ -445,6 +490,7 @@ type scenarioRun struct {
 	rt          [][]tenantRT // [server][tenant]
 	weights     []int
 	totalWeight int
+	kv          []kvTenantRun
 }
 
 // buildScenario constructs the scenario's pool, tenants (one root slot
@@ -470,7 +516,17 @@ func buildScenario(sc Scenario, threads int, seed int64) (*scenarioRun, error) {
 	run := &scenarioRun{inst: &instance{pool: pool}, sc: sc}
 	factories := make([]func(int) opRunner, len(sc.Tenants))
 	for ti, t := range sc.Tenants {
-		f, err := newStructure(run.inst, t.Algo, maxThreads, ti, workloadPoolWords/8, false)
+		var f func(int) opRunner
+		var err error
+		if t.Algo == AlgoKVStore {
+			var s *kvstore.Store
+			f, s, err = newKVTenant(run.inst, t, maxThreads, ti)
+			if err == nil {
+				run.kv = append(run.kv, kvTenantRun{tenant: ti, store: s})
+			}
+		} else {
+			f, err = newStructure(run.inst, t.Algo, maxThreads, ti, workloadPoolWords/8, false)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -566,11 +622,19 @@ func runScenario(sc Scenario, idx int, opts WorkloadOptions) (ScenarioReport, er
 	if sc.OpenLoop {
 		rep.Loop = "open"
 	}
+	kvByTenant := map[int]*kvstore.Store{}
+	for _, kt := range run.kv {
+		kvByTenant[kt.tenant] = kt.store
+	}
 	for ti, t := range sc.Tenants {
-		rep.Tenants = append(rep.Tenants, TenantReport{
+		tr := TenantReport{
 			Algo: string(t.Algo), Weight: run.weights[ti],
 			KeyRange: t.KeyRange, Preload: t.Preload,
-		})
+		}
+		if s := kvByTenant[ti]; s != nil {
+			tr.Shards = s.NumShards()
+		}
+		rep.Tenants = append(rep.Tenants, tr)
 	}
 
 	p := newPacer(opts.Threads, sc.OpenLoop,
@@ -686,6 +750,13 @@ func runScenario(sc Scenario, idx int, opts WorkloadOptions) (ScenarioReport, er
 		}
 		rep.Phases = append(rep.Phases, pr)
 	}
+	for _, kt := range run.kv {
+		kr, err := kvTenantReport(run, kt.tenant, kt.store)
+		if err != nil {
+			return ScenarioReport{}, err
+		}
+		rep.KVStores = append(rep.KVStores, kr)
+	}
 	return rep, nil
 }
 
@@ -734,7 +805,8 @@ func (r *WorkloadReport) MarshalIndentJSON() ([]byte, error) {
 // DefaultWorkloadScenarios is the checked-in matrix: three skew levels and
 // two mixes over the Tracking hash map, each uniform/zipfian point both
 // closed- and open-loop; a stall pair demonstrating coordinated omission; a
-// read→write→burst phase schedule; and a multi-tenant list+hash mix.
+// read→write→burst phase schedule; a multi-tenant list+hash mix; and the
+// sharded kvstore at 16, 32 and 64 shards.
 func DefaultWorkloadScenarios() []Scenario {
 	hash := Tenant{Algo: AlgoTrackingMap, KeyRange: 4096, Preload: 2048}
 	list := Tenant{Algo: AlgoTracking, KeyRange: 512, Preload: 256}
@@ -801,6 +873,21 @@ func DefaultWorkloadScenarios() []Scenario {
 		Tenants: []Tenant{list, hash}, OpenLoop: true,
 		Phases: []WorkloadPhase{{Name: "steady", Dist: zipf, FindPct: 50}},
 	})
+	// The sharded kvstore at three widths over the same range and mix: the
+	// rows expose how shard width spreads throughput across the interior
+	// directory (shard_ops) and what whole-store recovery costs as a
+	// function of width (the recovery_* persistence deltas), while every
+	// width — 64 shards included — occupies a single root slot.
+	for _, shards := range []int{16, 32, 64} {
+		out = append(out, Scenario{
+			Name: fmt.Sprintf("kvstore-%dshard-update-open", shards),
+			Tenants: []Tenant{
+				{Algo: AlgoKVStore, KeyRange: 4096, Preload: 2048, Shards: shards},
+			},
+			OpenLoop: true,
+			Phases:   []WorkloadPhase{{Name: "steady", Dist: zipf, FindPct: 50}},
+		})
+	}
 	return out
 }
 
@@ -838,9 +925,44 @@ func ValidateWorkloadsJSON(data []byte) error {
 		if len(sc.Tenants) == 0 {
 			return fmt.Errorf("workloads: scenario %q has no tenants", sc.Name)
 		}
+		sharded := 0
 		for _, t := range sc.Tenants {
-			if t.Algo == "" || t.Weight <= 0 || t.KeyRange <= 0 || t.Preload < 0 {
+			if t.Algo == "" || t.Weight <= 0 || t.KeyRange <= 0 || t.Preload < 0 || t.Shards < 0 {
 				return fmt.Errorf("workloads: scenario %q has a malformed tenant", sc.Name)
+			}
+			if t.Shards > 0 {
+				sharded++
+			}
+		}
+		if len(sc.KVStores) != sharded {
+			return fmt.Errorf("workloads: scenario %q has %d kvstore reports for %d sharded tenants",
+				sc.Name, len(sc.KVStores), sharded)
+		}
+		for _, kv := range sc.KVStores {
+			if kv.Tenant < 0 || kv.Tenant >= len(sc.Tenants) {
+				return fmt.Errorf("workloads: scenario %q kvstore report names tenant %d of %d",
+					sc.Name, kv.Tenant, len(sc.Tenants))
+			}
+			if kv.Shards <= 0 || kv.Shards != sc.Tenants[kv.Tenant].Shards {
+				return fmt.Errorf("workloads: scenario %q kvstore shard count %d != tenant echo %d",
+					sc.Name, kv.Shards, sc.Tenants[kv.Tenant].Shards)
+			}
+			if len(kv.ShardOps) != kv.Shards {
+				return fmt.Errorf("workloads: scenario %q kvstore has %d shard-ops rows for %d shards",
+					sc.Name, len(kv.ShardOps), kv.Shards)
+			}
+			var routed uint64
+			for _, n := range kv.ShardOps {
+				routed += n
+			}
+			if routed == 0 {
+				return fmt.Errorf("workloads: scenario %q kvstore saw no shard traffic", sc.Name)
+			}
+			// A quiescent final state needs no repair writes, but recovery
+			// always syncs its per-shard reconciliation, so a zero psync
+			// count means the recovery re-run never happened.
+			if kv.RecoveryPSyncs == 0 {
+				return fmt.Errorf("workloads: scenario %q kvstore recovery cost not populated", sc.Name)
 			}
 		}
 		if len(sc.Phases) == 0 {

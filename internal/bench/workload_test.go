@@ -3,9 +3,13 @@ package bench
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
+
+	"repro/internal/pmem"
 )
 
 // TestPreloadKeysDistinct pins the preload fix: exactly Preload distinct
@@ -274,6 +278,138 @@ func TestMultiTenantScenario(t *testing.T) {
 	if ops != uint64(ph.Ops) {
 		t.Fatalf("class counts sum %d != ops %d", ops, ph.Ops)
 	}
+}
+
+// TestTenantRootSlotCliff pins the multi-tenant root-slot cliff: the pool
+// has pmem.NumRootSlots durable roots, so an over-wide tenant mix must be
+// rejected with a diagnosis naming the cliff, not a panic deep in pmem —
+// while a single kvstore tenant routes 64 shards through one root slot's
+// interior directory and runs fine.
+func TestTenantRootSlotCliff(t *testing.T) {
+	var tenants []Tenant
+	for i := 0; i < pmem.NumRootSlots+1; i++ {
+		tenants = append(tenants, Tenant{Algo: AlgoTrackingMap, KeyRange: 64, Preload: 8})
+	}
+	_, err := Workloads(WorkloadOptions{
+		Seed: 3, Threads: 2, OpsPerPhase: 500,
+		Scenarios: []Scenario{{Name: "cliff", Tenants: tenants,
+			Phases: []WorkloadPhase{{Name: "p", Dist: KeyDist{Kind: DistUniform}, FindPct: 50}}}},
+	})
+	if err == nil {
+		t.Fatalf("%d tenants accepted", pmem.NumRootSlots+1)
+	}
+	want := fmt.Sprintf("%d tenants exceed %d root slots", pmem.NumRootSlots+1, pmem.NumRootSlots)
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name the cliff %q", err, want)
+	}
+
+	rep, err := Workloads(WorkloadOptions{
+		Seed: 3, Threads: 2, OpsPerPhase: 800,
+		Scenarios: []Scenario{{Name: "kv64",
+			Tenants: []Tenant{{Algo: AlgoKVStore, KeyRange: 1024, Preload: 256, Shards: 64}},
+			Phases:  []WorkloadPhase{{Name: "p", Dist: KeyDist{Kind: DistUniform}, FindPct: 50}}}},
+	})
+	if err != nil {
+		t.Fatalf("64-shard single-slot tenant rejected: %v", err)
+	}
+	sc := rep.Scenarios[0]
+	if sc.Tenants[0].Shards != 64 {
+		t.Fatalf("tenant echoes %d shards, want 64", sc.Tenants[0].Shards)
+	}
+	if len(sc.KVStores) != 1 || sc.KVStores[0].Shards != 64 || len(sc.KVStores[0].ShardOps) != 64 {
+		t.Fatalf("kvstore report malformed: %+v", sc.KVStores)
+	}
+}
+
+// TestKVStoreWorkloadScenario runs a sharded-store scenario end to end and
+// checks the report block the BENCH_workloads.json rows rely on: per-shard
+// traffic actually spreads over every shard, the recovery re-run populates
+// deterministic persistence costs, the report validates, and the whole row
+// — recovery block included — is byte-stable given the seed.
+func TestKVStoreWorkloadScenario(t *testing.T) {
+	opts := WorkloadOptions{
+		Seed: 6, Threads: 2, OpsPerPhase: 2000,
+		Scenarios: []Scenario{{Name: "kv", OpenLoop: true,
+			Tenants: []Tenant{{Algo: AlgoKVStore, KeyRange: 2048, Preload: 1024, Shards: 16}},
+			Phases: []WorkloadPhase{
+				{Name: "steady", Dist: KeyDist{Kind: DistZipfian, Theta: 0.99}, FindPct: 50}}}},
+	}
+	rep, err := Workloads(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv := rep.Scenarios[0].KVStores[0]
+	if kv.Tenant != 0 || kv.Shards != 16 || len(kv.ShardOps) != 16 {
+		t.Fatalf("report shape: %+v", kv)
+	}
+	var routed uint64
+	for si, n := range kv.ShardOps {
+		if n == 0 {
+			t.Errorf("shard %d saw no traffic", si)
+		}
+		routed += n
+	}
+	// Preload, calibration and the phase all route through the shards.
+	if routed < 2000 {
+		t.Fatalf("only %d operations routed", routed)
+	}
+	if kv.LiveBlocks == 0 {
+		t.Fatal("no live blocks after recovery")
+	}
+	if kv.RecoveryPSyncs == 0 {
+		t.Fatalf("recovery cost not populated: %+v", kv)
+	}
+	// A quiescent final state has nothing to repair: no tombstoned slots,
+	// no leaked blocks, and hence no repair write-backs.
+	if kv.RecoverySlotsReconciled != 0 || kv.RecoveryLeaksReclaimed != 0 || kv.RecoveryPWBs != 0 {
+		t.Fatalf("quiescent recovery repaired state: %+v", kv)
+	}
+
+	data, err := rep.MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateWorkloadsJSON(data); err != nil {
+		t.Fatalf("report does not validate: %v", err)
+	}
+	again, err := Workloads(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := again.MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, aj) {
+		t.Fatal("kvstore scenario report not byte-stable given the seed")
+	}
+
+	corrupt := func(name string, f func(kv map[string]any)) {
+		var m map[string]any
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatal(err)
+		}
+		f(m["scenarios"].([]any)[0].(map[string]any)["kvstores"].([]any)[0].(map[string]any))
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateWorkloadsJSON(out); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	corrupt("truncated shard_ops", func(kv map[string]any) {
+		kv["shard_ops"] = kv["shard_ops"].([]any)[:8]
+	})
+	corrupt("shard count drift", func(kv map[string]any) {
+		kv["shards"] = 32.0
+	})
+	corrupt("empty recovery cost", func(kv map[string]any) {
+		kv["recovery_psyncs"] = 0.0
+	})
+	corrupt("out-of-range tenant", func(kv map[string]any) {
+		kv["tenant"] = 5.0
+	})
 }
 
 // TestValidateWorkloadsJSONRejects drives the validator over corrupted

@@ -41,7 +41,7 @@ func runAdapterChaos(t *testing.T, name string, seed int64, threads, ops, crashe
 }
 
 func TestAdapterRegistry(t *testing.T) {
-	want := []string{"capsules", "capsules-opt", "rbst", "rexchanger", "rhash", "rlist", "rmm", "rqueue", "rstack"}
+	want := []string{"capsules", "capsules-opt", "kvstore", "rbst", "rexchanger", "rhash", "rlist", "rmm", "rqueue", "rstack"}
 	got := AdapterNames()
 	if len(got) != len(want) {
 		t.Fatalf("AdapterNames() = %v, want %v", got, want)
@@ -55,8 +55,8 @@ func TestAdapterRegistry(t *testing.T) {
 		t.Fatal("unknown structure accepted")
 	}
 	def := DefaultAdapters()
-	if len(def) != 7 {
-		t.Fatalf("DefaultAdapters() has %d entries, want the 7 recoverable structures", len(def))
+	if len(def) != 8 {
+		t.Fatalf("DefaultAdapters() has %d entries, want the 8 recoverable structures", len(def))
 	}
 	for _, a := range def {
 		if a.Name == "capsules" || a.Name == "capsules-opt" {

@@ -9,7 +9,7 @@ import (
 // task must produce the identical verdict, crash accounting, and (for
 // deterministic tasks) identical persistence metrics as the serial sweep.
 func TestSweepParallelRecoveryMatchesSerial(t *testing.T) {
-	for _, structure := range []string{"rlist", "rbst", "rhash"} {
+	for _, structure := range []string{"rlist", "rbst", "rhash", "kvstore"} {
 		serialCfg := smallSweep(structure)
 		serial, err := Run(serialCfg)
 		if err != nil {

@@ -114,6 +114,52 @@ func TestSweepBacktrackCoverage(t *testing.T) {
 	}
 }
 
+// TestSweepKVStore pins satellite crash coverage for the sharded store:
+// a depth-2 sweep over the kvstore's own persist points (value persist,
+// slot publish/tombstone, TTL stamp) must profile and fire every site and
+// validate with zero violations — including the re-crash that lands in
+// RecoverPut/RecoverDelete while the store is being repaired.
+func TestSweepKVStore(t *testing.T) {
+	cfg := smallSweep("kvstore")
+	cfg.Depth = 2
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		if r.Violation != "" || r.Error != "" {
+			t.Errorf("%s k=%d adv=%s d=%d: %s%s", r.Site, r.Hit, r.Adversary, r.Depth, r.Violation, r.Error)
+		}
+	}
+	sr := rep.Structures[0]
+	if len(sr.UncoveredSites) != 0 {
+		t.Fatalf("uncovered kvstore sites: %v", sr.UncoveredSites)
+	}
+	covered := map[string]bool{}
+	for _, site := range sr.Sites {
+		if site.ProfileHits == 0 || site.FiredTasks == 0 {
+			t.Errorf("site %s: profile hits %d, fired tasks %d", site.Site, site.ProfileHits, site.FiredTasks)
+		}
+		covered[site.Site] = true
+	}
+	for _, want := range []string{"kvstore/pwb-val", "kvstore/pwb-slot", "kvstore/pwb-ttl"} {
+		if !covered[want] {
+			t.Errorf("site %s never swept (have %v)", want, sr.Sites)
+		}
+	}
+	// Depth-2 tasks must actually chain a second crash into recovery for
+	// at least one site.
+	double := 0
+	for _, r := range rep.Results {
+		if r.Depth == 2 && r.Crashes >= 2 {
+			double++
+		}
+	}
+	if double == 0 {
+		t.Fatal("no kvstore depth-2 task crashed during recovery")
+	}
+}
+
 func TestSweepDeterministicGivenSeed(t *testing.T) {
 	cfg := smallSweep("rbst")
 	rep1, err := Run(cfg)
@@ -215,8 +261,8 @@ func TestSweepAllStructures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Structures) != 7 {
-		t.Fatalf("swept %d structures, want 7", len(rep.Structures))
+	if len(rep.Structures) != 8 {
+		t.Fatalf("swept %d structures, want 8", len(rep.Structures))
 	}
 	for _, r := range rep.Results {
 		if r.Violation != "" || r.Error != "" {

@@ -342,15 +342,47 @@ func (p *Pool) tryAllocLines(n int) (Addr, bool) {
 // durable data must be reachable after a restart; slots play that role here.
 const NumRootSlots = 7
 
+// RootSlots reports how many root slots the pool has. Structures that
+// consume one slot per instance (or services that consume one slot per
+// shard) must check their slot demand against this capacity up front;
+// slots live in the reserved first cache line, so the count cannot grow
+// with the pool. Services needing more roots than this should allocate a
+// durable directory region and publish it through a single slot (see
+// internal/kvstore).
+func (p *Pool) RootSlots() int { return NumRootSlots }
+
+// RootSlotChecked is RootSlot with the range check reported as an error
+// instead of a panic, for construction- and attach-time validation.
+func (p *Pool) RootSlotChecked(i int) (Addr, error) {
+	if i < 0 || i >= NumRootSlots {
+		return Null, fmt.Errorf("pmem: root slot %d out of range [0, %d)", i, NumRootSlots)
+	}
+	return Addr((i + 1) * WordSize), nil
+}
+
 // RootSlot returns the address of well-known root slot i (0-based). Slots
 // live in the reserved first cache line of the pool, so their addresses are
 // identical across restarts. Structures persist their header addresses here
-// so recovery code can find them.
+// so recovery code can find them. It panics when i is out of range; use
+// RootSlotChecked to validate caller-supplied slot indices.
 func (p *Pool) RootSlot(i int) Addr {
-	if i < 0 || i >= NumRootSlots {
-		panic("pmem: root slot out of range")
+	a, err := p.RootSlotChecked(i)
+	if err != nil {
+		panic(err.Error())
 	}
-	return Addr((i + 1) * WordSize)
+	return a
+}
+
+// ValidWords reports whether the words-long region starting at a lies
+// entirely within the pool and a is word-aligned. Attach paths use it to
+// reject garbage header addresses (a stale or wrong root slot) with a
+// descriptive error instead of an out-of-bounds panic mid-parse.
+func (p *Pool) ValidWords(a Addr, words int) bool {
+	if a == Null || words <= 0 || uint64(a)%WordSize != 0 {
+		return false
+	}
+	start := uint64(a) / WordSize
+	return start < uint64(len(p.words)) && uint64(words) <= uint64(len(p.words))-start
 }
 
 // DurableLoad reads a word from the durable view. It is meaningful only in

@@ -1,0 +1,69 @@
+package pmem
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRootSlotBoundary pins the root-slot capacity contract: the last slot
+// (6) resolves, the first out-of-range index (7) errors from the checked
+// variant and panics from the legacy one, and the capacity query matches
+// the constant. The kvstore shard directory exists because this boundary
+// is hard; regressing it silently would re-open the 16-shard construction
+// crash this test was written against.
+func TestRootSlotBoundary(t *testing.T) {
+	p := New(Config{Mode: ModeStrict, CapacityWords: 1 << 12, MaxThreads: 1})
+	if got := p.RootSlots(); got != NumRootSlots {
+		t.Fatalf("RootSlots() = %d, want %d", got, NumRootSlots)
+	}
+	a, err := p.RootSlotChecked(NumRootSlots - 1)
+	if err != nil || a == Null {
+		t.Fatalf("RootSlotChecked(%d) = %#x, %v; want valid slot", NumRootSlots-1, uint64(a), err)
+	}
+	if a != p.RootSlot(NumRootSlots-1) {
+		t.Fatalf("checked and unchecked slot %d disagree", NumRootSlots-1)
+	}
+	if _, err := p.RootSlotChecked(NumRootSlots); err == nil {
+		t.Fatalf("RootSlotChecked(%d) succeeded; want out-of-range error", NumRootSlots)
+	} else if !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("RootSlotChecked(%d) error %q lacks range diagnosis", NumRootSlots, err)
+	}
+	if _, err := p.RootSlotChecked(-1); err == nil {
+		t.Fatal("RootSlotChecked(-1) succeeded; want error")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("RootSlot(%d) did not panic", NumRootSlots)
+			}
+		}()
+		p.RootSlot(NumRootSlots)
+	}()
+}
+
+// TestValidWords exercises the attach-time address validator: in-bounds
+// aligned regions pass; Null, misaligned, out-of-bounds, and
+// overflow-length regions fail.
+func TestValidWords(t *testing.T) {
+	const words = 1 << 10
+	p := New(Config{Mode: ModeStrict, CapacityWords: words, MaxThreads: 1})
+	cases := []struct {
+		name string
+		a    Addr
+		n    int
+		want bool
+	}{
+		{"first word", Addr(WordSize), 1, true},
+		{"full tail", Addr(WordSize), words - 1, true},
+		{"null", Null, 1, false},
+		{"misaligned", Addr(WordSize + 3), 1, false},
+		{"past end", Addr(words * WordSize), 1, false},
+		{"length overflow", Addr(WordSize), words, false},
+		{"zero length", Addr(WordSize), 0, false},
+	}
+	for _, c := range cases {
+		if got := p.ValidWords(c.a, c.n); got != c.want {
+			t.Errorf("%s: ValidWords(%#x, %d) = %v, want %v", c.name, uint64(c.a), c.n, got, c.want)
+		}
+	}
+}

@@ -98,6 +98,10 @@ func newLeaf(ctx *pmem.ThreadCtx, key int64) pmem.Addr {
 // New creates an empty tree for up to maxThreads threads and records its
 // header in rootSlot.
 func New(pool *pmem.Pool, maxThreads, rootSlot int) *Tree {
+	slot, slotErr := pool.RootSlotChecked(rootSlot)
+	if slotErr != nil {
+		panic("rbst: " + slotErr.Error())
+	}
 	eng := tracking.New(pool, maxThreads, "rbst")
 	boot := pool.NewThread(0)
 
@@ -121,7 +125,6 @@ func New(pool *pmem.Pool, maxThreads, rootSlot int) *Tree {
 	boot.PWBRange(pmem.NoSite, root, internalLen)
 	boot.PWBRange(pmem.NoSite, header, hdrLen)
 	boot.PFence()
-	slot := pool.RootSlot(rootSlot)
 	boot.Store(slot, uint64(header))
 	boot.PWB(pmem.NoSite, slot)
 	boot.PSync()
@@ -130,17 +133,28 @@ func New(pool *pmem.Pool, maxThreads, rootSlot int) *Tree {
 }
 
 // Attach reconstructs a Tree from the header in rootSlot, typically after
-// pool recovery.
+// pool recovery. Slot index, header address, and header fields are all
+// validated before use, so a fresh pool or a slot holding a non-pointer
+// value yields a descriptive error rather than an out-of-bounds panic
+// mid-parse.
 func Attach(pool *pmem.Pool, rootSlot int) (*Tree, error) {
+	slot, err := pool.RootSlotChecked(rootSlot)
+	if err != nil {
+		return nil, fmt.Errorf("rbst: %w", err)
+	}
 	boot := pool.NewThread(0)
-	header := pmem.Addr(boot.Load(pool.RootSlot(rootSlot)))
+	header := pmem.Addr(boot.Load(slot))
 	if header == pmem.Null {
 		return nil, fmt.Errorf("rbst: root slot %d holds no tree", rootSlot)
+	}
+	if !pool.ValidWords(header, hdrLen) {
+		return nil, fmt.Errorf("rbst: root slot %d holds %#x, not a header address",
+			rootSlot, uint64(header))
 	}
 	root := pmem.Addr(boot.Load(header + hdrRoot))
 	table := pmem.Addr(boot.Load(header + hdrTable))
 	threads := int(boot.Load(header + hdrThreads))
-	if root == pmem.Null || table == pmem.Null || threads <= 0 {
+	if !pool.ValidWords(root, internalLen) || !pool.ValidWords(table, 1) || threads <= 0 {
 		return nil, fmt.Errorf("rbst: corrupt header at %#x", uint64(header))
 	}
 	eng := tracking.Attach(pool, table, threads, "rbst")

@@ -33,62 +33,127 @@ type Map struct {
 	eng      *tracking.Engine
 	buckets  []*rlist.List
 	nBuckets uint64
+	table    pmem.Addr
 	header   pmem.Addr
 }
 
 // New creates a map with nBuckets buckets (rounded up to a power of two)
-// for up to maxThreads threads, recording its header in rootSlot.
+// for up to maxThreads threads, recording its header in rootSlot. The root
+// slot is validated before any building starts, so an out-of-range slot
+// fails immediately instead of panicking after the whole table has been
+// constructed.
 func New(pool *pmem.Pool, nBuckets, maxThreads, rootSlot int) *Map {
-	n := 1
-	for n < nBuckets {
-		n *= 2
+	root, err := pool.RootSlotChecked(rootSlot)
+	if err != nil {
+		panic("rhash: " + err.Error())
 	}
 	eng := tracking.New(pool, maxThreads, "rhash")
 	boot := pool.NewThread(0)
-
-	// Line-align the bucket table: its words are read on every operation
-	// and must not share a line with a neighbouring allocation's hot data.
-	table := boot.AllocLines((n + pmem.LineWords - 1) / pmem.LineWords)
-	m := &Map{pool: pool, eng: eng, nBuckets: uint64(n)}
-	for i := 0; i < n; i++ {
-		l := rlist.NewEmbedded(eng, boot)
-		m.buckets = append(m.buckets, l)
-		boot.Store(table+pmem.Addr(i*pmem.WordSize), uint64(l.HeadAddr()))
-	}
+	m := NewEmbedded(eng, boot, nBuckets)
 	header := boot.AllocLocal(hdrLen)
-	boot.Store(header+hdrBuckets, uint64(table))
-	boot.Store(header+hdrNBuckets, uint64(n))
+	boot.Store(header+hdrBuckets, uint64(m.table))
+	boot.Store(header+hdrNBuckets, m.nBuckets)
 	boot.Store(header+hdrTable, uint64(eng.TableAddr()))
 	boot.Store(header+hdrThreads, uint64(maxThreads))
 	m.header = header
 
-	boot.PWBRange(pmem.NoSite, table, n)
 	boot.PWBRange(pmem.NoSite, header, hdrLen)
 	boot.PFence()
-	root := pool.RootSlot(rootSlot)
 	boot.Store(root, uint64(header))
 	boot.PWB(pmem.NoSite, root)
 	boot.PSync()
 	return m
 }
 
+// NewEmbedded builds a map that shares an existing Tracking engine, for
+// services composing several maps over one engine (a thread executes one
+// recoverable operation at a time, so its CP/RD pair covers every map, the
+// same argument that lets one engine cover every bucket). The bucket table
+// is built and persisted; durable publication of the table address (see
+// TableAddr) and bucket count is the caller's responsibility — the kvstore
+// shard directory records both per shard.
+func NewEmbedded(eng *tracking.Engine, boot *pmem.ThreadCtx, nBuckets int) *Map {
+	n := 1
+	for n < nBuckets {
+		n *= 2
+	}
+	// Line-align the bucket table: its words are read on every operation
+	// and must not share a line with a neighbouring allocation's hot data.
+	table := boot.AllocLines((n + pmem.LineWords - 1) / pmem.LineWords)
+	m := &Map{pool: boot.Pool(), eng: eng, nBuckets: uint64(n), table: table}
+	for i := 0; i < n; i++ {
+		l := rlist.NewEmbedded(eng, boot)
+		m.buckets = append(m.buckets, l)
+		boot.Store(table+pmem.Addr(i*pmem.WordSize), uint64(l.HeadAddr()))
+	}
+	boot.PWBRange(pmem.NoSite, table, n)
+	boot.PFence()
+	return m
+}
+
+// TableAddr returns the durable address of the bucket table, for callers
+// of NewEmbedded that record it in their own durable directory.
+func (m *Map) TableAddr() pmem.Addr { return m.table }
+
+// NBuckets returns the bucket count (a power of two).
+func (m *Map) NBuckets() int { return int(m.nBuckets) }
+
+// AttachEmbedded reconstructs a NewEmbedded map from its persisted bucket
+// table, on an engine the caller has already attached, using the caller's
+// thread context (shard-parallel recovery attaches many embedded maps
+// concurrently, one worker context each). It validates the table region
+// and every bucket head before trusting them, so a garbage directory
+// entry yields a descriptive error rather than an out-of-bounds panic.
+func AttachEmbedded(eng *tracking.Engine, boot *pmem.ThreadCtx, table pmem.Addr, nBuckets int) (*Map, error) {
+	pool := boot.Pool()
+	if nBuckets <= 0 || nBuckets&(nBuckets-1) != 0 {
+		return nil, fmt.Errorf("rhash: bucket count %d is not a positive power of two", nBuckets)
+	}
+	if !pool.ValidWords(table, nBuckets) {
+		return nil, fmt.Errorf("rhash: bucket table %#x (%d buckets) outside pool", uint64(table), nBuckets)
+	}
+	m := &Map{pool: pool, eng: eng, nBuckets: uint64(nBuckets), table: table}
+	m.buckets = make([]*rlist.List, nBuckets)
+	for i := range m.buckets {
+		head := pmem.Addr(boot.Load(table + pmem.Addr(i*pmem.WordSize)))
+		if !pool.ValidWords(head, 1) {
+			return nil, fmt.Errorf("rhash: bucket %d head %#x invalid", i, uint64(head))
+		}
+		m.buckets[i] = rlist.AttachEmbedded(m.eng, pool, head)
+	}
+	return m, nil
+}
+
 // attachHeader reconstructs everything but the bucket list from the header
 // in rootSlot, returning the map skeleton and the bucket table address.
+// Every address read from durable words is bounds-checked before use: a
+// fresh pool's Null slot, a slot holding a non-pointer value, and a header
+// whose fields do not parse all yield descriptive errors instead of
+// panics.
 func attachHeader(pool *pmem.Pool, rootSlot int) (*Map, pmem.Addr, error) {
+	root, err := pool.RootSlotChecked(rootSlot)
+	if err != nil {
+		return nil, pmem.Null, fmt.Errorf("rhash: %w", err)
+	}
 	boot := pool.NewThread(0)
-	header := pmem.Addr(boot.Load(pool.RootSlot(rootSlot)))
+	header := pmem.Addr(boot.Load(root))
 	if header == pmem.Null {
 		return nil, pmem.Null, fmt.Errorf("rhash: root slot %d holds no map", rootSlot)
+	}
+	if !pool.ValidWords(header, hdrLen) {
+		return nil, pmem.Null, fmt.Errorf("rhash: root slot %d holds %#x, not a header address",
+			rootSlot, uint64(header))
 	}
 	table := pmem.Addr(boot.Load(header + hdrBuckets))
 	n := int(boot.Load(header + hdrNBuckets))
 	engTable := pmem.Addr(boot.Load(header + hdrTable))
 	threads := int(boot.Load(header + hdrThreads))
-	if table == pmem.Null || n <= 0 || engTable == pmem.Null || threads <= 0 {
+	if n <= 0 || n&(n-1) != 0 || !pool.ValidWords(table, n) ||
+		!pool.ValidWords(engTable, 1) || threads <= 0 {
 		return nil, pmem.Null, fmt.Errorf("rhash: corrupt header at %#x", uint64(header))
 	}
 	eng := tracking.Attach(pool, engTable, threads, "rhash")
-	m := &Map{pool: pool, eng: eng, nBuckets: uint64(n), header: header}
+	m := &Map{pool: pool, eng: eng, nBuckets: uint64(n), table: table, header: header}
 	m.buckets = make([]*rlist.List, n)
 	return m, table, nil
 }
@@ -102,8 +167,8 @@ func Attach(pool *pmem.Pool, rootSlot int) (*Map, error) {
 	boot := pool.NewThread(0)
 	for i := range m.buckets {
 		head := pmem.Addr(boot.Load(table + pmem.Addr(i*pmem.WordSize)))
-		if head == pmem.Null {
-			return nil, fmt.Errorf("rhash: bucket %d head missing", i)
+		if !m.pool.ValidWords(head, 1) {
+			return nil, fmt.Errorf("rhash: bucket %d head %#x invalid", i, uint64(head))
 		}
 		m.buckets[i] = rlist.AttachEmbedded(m.eng, pool, head)
 	}
@@ -122,8 +187,8 @@ func AttachParallel(pool *pmem.Pool, rootSlot int, eng *recovery.Engine) (*Map, 
 	err = eng.For(pool, recovery.PhaseAttach, len(m.buckets),
 		func(ctx *pmem.ThreadCtx, i int) error {
 			head := pmem.Addr(ctx.Load(table + pmem.Addr(i*pmem.WordSize)))
-			if head == pmem.Null {
-				return fmt.Errorf("rhash: bucket %d head missing", i)
+			if !pool.ValidWords(head, 1) {
+				return fmt.Errorf("rhash: bucket %d head %#x invalid", i, uint64(head))
 			}
 			m.buckets[i] = rlist.AttachEmbedded(m.eng, pool, head)
 			return nil
@@ -149,6 +214,13 @@ type Handle struct {
 // work or allocation; bucket handles materialize on first touch.
 func (m *Map) Handle(ctx *pmem.ThreadCtx) *Handle {
 	return &Handle{m: m, th: m.eng.Thread(ctx)}
+}
+
+// HandleWith creates a per-thread handle over an existing Tracking thread,
+// for services whose threads span several embedded maps on one engine (the
+// kvstore's shards); the thread's CP/RD recovery data covers them all.
+func (m *Map) HandleWith(th *tracking.Thread) *Handle {
+	return &Handle{m: m, th: th}
 }
 
 // Invoke performs the system-side invocation step; see tracking.Invoke.

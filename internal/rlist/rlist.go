@@ -86,6 +86,10 @@ func (l *List) SetReadOnlyOpt(on bool) { l.roOpt = on }
 // persistent header in the pool's rootSlot, so Attach can find it after a
 // crash.
 func New(pool *pmem.Pool, maxThreads, rootSlot int) *List {
+	root, slotErr := pool.RootSlotChecked(rootSlot)
+	if slotErr != nil {
+		panic("rlist: " + slotErr.Error())
+	}
 	eng := tracking.New(pool, maxThreads, "rlist")
 	boot := pool.NewThread(0)
 
@@ -107,7 +111,6 @@ func New(pool *pmem.Pool, maxThreads, rootSlot int) *List {
 	boot.PWBRange(pmem.NoSite, head, nodeLen)
 	boot.PWBRange(pmem.NoSite, header, hdrLen)
 	boot.PFence()
-	root := pool.RootSlot(rootSlot)
 	boot.Store(root, uint64(header))
 	boot.PWB(pmem.NoSite, root)
 	boot.PSync()
@@ -158,17 +161,28 @@ func (l *List) HandleWith(th *tracking.Thread) *Handle {
 }
 
 // Attach reconstructs a List handle from the header recorded in rootSlot,
-// typically after pool recovery.
+// typically after pool recovery. Slot index, header address, and header
+// fields are all validated before use, so a fresh pool or a slot holding a
+// non-pointer value yields a descriptive error rather than an
+// out-of-bounds panic mid-parse.
 func Attach(pool *pmem.Pool, rootSlot int) (*List, error) {
+	root, err := pool.RootSlotChecked(rootSlot)
+	if err != nil {
+		return nil, fmt.Errorf("rlist: %w", err)
+	}
 	boot := pool.NewThread(0)
-	header := pmem.Addr(boot.Load(pool.RootSlot(rootSlot)))
+	header := pmem.Addr(boot.Load(root))
 	if header == pmem.Null {
 		return nil, fmt.Errorf("rlist: root slot %d holds no list", rootSlot)
+	}
+	if !pool.ValidWords(header, hdrLen) {
+		return nil, fmt.Errorf("rlist: root slot %d holds %#x, not a header address",
+			rootSlot, uint64(header))
 	}
 	head := pmem.Addr(boot.Load(header + hdrHead))
 	table := pmem.Addr(boot.Load(header + hdrTable))
 	threads := int(boot.Load(header + hdrThreads))
-	if head == pmem.Null || table == pmem.Null || threads <= 0 {
+	if !pool.ValidWords(head, nodeLen) || !pool.ValidWords(table, 1) || threads <= 0 {
 		return nil, fmt.Errorf("rlist: corrupt header at %#x", uint64(header))
 	}
 	eng := tracking.Attach(pool, table, threads, "rlist")

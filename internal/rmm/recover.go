@@ -1,6 +1,7 @@
 package rmm
 
 import (
+	"fmt"
 	"math/bits"
 	"sync/atomic"
 
@@ -193,8 +194,12 @@ func (a *Allocator) RecoverGCParallel(eng *recovery.Engine, shards []MarkShard) 
 // rebuilt stacks are identical to Attach's. The phase is read-only with
 // respect to durable state.
 func AttachParallel(pool *pmem.Pool, rootSlot int, eng *recovery.Engine) (*Allocator, error) {
+	root, err := pool.RootSlotChecked(rootSlot)
+	if err != nil {
+		return nil, fmt.Errorf("rmm: %w", err)
+	}
 	boot := pool.NewThread(eng.BaseTID())
-	a, err := attachHeader(pool, boot, rootSlot)
+	a, err := attachHeader(pool, boot, root)
 	if err != nil {
 		return nil, err
 	}

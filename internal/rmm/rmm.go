@@ -164,10 +164,26 @@ func New(pool *pmem.Pool, blockWords, nBlocks, rootSlot int) *Allocator {
 // grows the arena chunk by chunk, up to maxChunks, when every active chunk
 // is exhausted. The header (geometry, chunk directory, chunk count) is
 // persisted and recorded in rootSlot so Attach can rebuild the allocator
-// after a crash.
+// after a crash. The slot is validated before anything is built.
 func NewGrowable(pool *pmem.Pool, blockWords, chunkBlocks, maxChunks, rootSlot int) *Allocator {
+	root, err := pool.RootSlotChecked(rootSlot)
+	if err != nil {
+		panic("rmm: " + err.Error())
+	}
+	return NewGrowableAt(pool, blockWords, chunkBlocks, maxChunks, root)
+}
+
+// NewGrowableAt is NewGrowable with the header address recorded in an
+// arbitrary durable word instead of a root slot. Services that run more
+// allocators than the pool has root slots (one per kvstore shard) point
+// their directory entries here; at must already be allocated and is
+// persisted with the bootstrap's NoSite discipline.
+func NewGrowableAt(pool *pmem.Pool, blockWords, chunkBlocks, maxChunks int, at pmem.Addr) *Allocator {
 	if blockWords <= 0 || chunkBlocks <= 0 || maxChunks <= 0 {
 		panic("rmm: invalid geometry")
+	}
+	if !pool.ValidWords(at, 1) {
+		panic("rmm: header slot outside pool")
 	}
 	boot := pool.NewThread(0)
 	a := &Allocator{
@@ -185,9 +201,8 @@ func NewGrowable(pool *pmem.Pool, blockWords, chunkBlocks, maxChunks, rootSlot i
 	boot.Store(header+hdrNChunks, 0)
 	boot.PWBRange(pmem.NoSite, header, hdrFixed)
 	boot.PFence()
-	root := pool.RootSlot(rootSlot)
-	boot.Store(root, uint64(header))
-	boot.PWB(pmem.NoSite, root)
+	boot.Store(at, uint64(header))
+	boot.PWB(pmem.NoSite, at)
 	boot.PSync()
 	if !a.grow(boot, true) {
 		panic("rmm: pool too small for the first chunk")
@@ -209,8 +224,21 @@ func registerSites(pool *pmem.Pool) sites {
 // allocation bitmap. Blocks leaked by the crash (bit set, unreachable)
 // stay allocated until RecoverGC reclaims them.
 func Attach(pool *pmem.Pool, rootSlot int) (*Allocator, error) {
-	boot := pool.NewThread(0)
-	a, err := attachHeader(pool, boot, rootSlot)
+	root, err := pool.RootSlotChecked(rootSlot)
+	if err != nil {
+		return nil, fmt.Errorf("rmm: %w", err)
+	}
+	return AttachAt(pool.NewThread(0), root)
+}
+
+// AttachAt is Attach with the header address read from an arbitrary
+// durable word (a shard-directory entry) instead of a root slot, using
+// the caller's thread context — several AttachAt calls with distinct
+// contexts may run concurrently (the kvstore recovers one allocator per
+// shard across the recovery engine's workers).
+func AttachAt(boot *pmem.ThreadCtx, at pmem.Addr) (*Allocator, error) {
+	pool := boot.Pool()
+	a, err := attachHeader(pool, boot, at)
 	if err != nil {
 		return nil, err
 	}
@@ -227,11 +255,20 @@ func Attach(pool *pmem.Pool, rootSlot int) (*Allocator, error) {
 }
 
 // attachHeader rebuilds the allocator struct and chunk directory (but not
-// the free-stacks) from the persistent header.
-func attachHeader(pool *pmem.Pool, boot *pmem.ThreadCtx, rootSlot int) (*Allocator, error) {
-	header := pmem.Addr(boot.Load(pool.RootSlot(rootSlot)))
+// the free-stacks) from the persistent header recorded at the durable
+// word at. Header address and fields are validated before use, so a stale
+// or garbage word yields a descriptive error rather than a panic.
+func attachHeader(pool *pmem.Pool, boot *pmem.ThreadCtx, at pmem.Addr) (*Allocator, error) {
+	if !pool.ValidWords(at, 1) {
+		return nil, fmt.Errorf("rmm: header slot %#x outside pool", uint64(at))
+	}
+	header := pmem.Addr(boot.Load(at))
 	if header == pmem.Null {
-		return nil, fmt.Errorf("rmm: root slot %d holds no allocator", rootSlot)
+		return nil, fmt.Errorf("rmm: slot %#x holds no allocator", uint64(at))
+	}
+	if !pool.ValidWords(header, hdrFixed) {
+		return nil, fmt.Errorf("rmm: slot %#x holds %#x, not a header address",
+			uint64(at), uint64(header))
 	}
 	a := &Allocator{
 		pool:       pool,
@@ -242,7 +279,8 @@ func attachHeader(pool *pmem.Pool, boot *pmem.ThreadCtx, rootSlot int) (*Allocat
 		s:          registerSites(pool),
 	}
 	n := int(boot.Load(header + hdrNChunks))
-	if a.blockWords <= 0 || a.chunkCap <= 0 || a.maxChunks <= 0 || n <= 0 || n > a.maxChunks {
+	if a.blockWords <= 0 || a.chunkCap <= 0 || a.maxChunks <= 0 || n <= 0 || n > a.maxChunks ||
+		!pool.ValidWords(header, hdrFixed+2*a.maxChunks) {
 		return nil, fmt.Errorf("rmm: corrupt header at %#x", uint64(header))
 	}
 	a.bitmapWords = (a.chunkCap + 63) / 64
@@ -252,7 +290,7 @@ func attachHeader(pool *pmem.Pool, boot *pmem.ThreadCtx, rootSlot int) (*Allocat
 		entry := header + hdrDir + pmem.Addr(2*ci*pmem.WordSize)
 		bm := pmem.Addr(boot.Load(entry))
 		bl := pmem.Addr(boot.Load(entry + pmem.WordSize))
-		if bm == pmem.Null || bl == pmem.Null {
+		if !pool.ValidWords(bm, a.bitmapWords) || !pool.ValidWords(bl, a.chunkCap*a.blockWords) {
 			return nil, fmt.Errorf("rmm: corrupt chunk directory entry %d", ci)
 		}
 		a.chunks[ci].Store(&chunk{
