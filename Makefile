@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench-pmem bench-alloc bench-recovery bench-batching bench-workloads kvstore-smoke sweep docs-lint telemetry-smoke ci
+.PHONY: all build test race bench-pmem bench-alloc bench-recovery bench-batching bench-flushavoid bench-workloads kvstore-smoke sweep docs-lint telemetry-smoke ci
 
 all: build
 
@@ -35,6 +35,21 @@ bench-alloc:
 bench-batching:
 	$(GO) run ./cmd/benchrunner -substrate -threads 1,2 -substrate-ops 300000 -batch-ops 8
 	$(GO) run ./cmd/crashtest -sweep -structure all -depth 1 -seed 1 -batch-ops 8 \
+		-budget 120s -compare crash_coverage.json
+
+# bench-flushavoid smokes the flush-avoidance layer: the substrate batch's
+# mode:"flushavoid" points must show executed pwbs/op down >= 30% against
+# the mode:"fast" baseline on the tracking-hash update mix
+# (-check-flushavoid gates it and bench_flushavoid.json is the CI
+# artifact), then a depth-1 flush-avoided crash-site sweep must compare
+# verdict-identical against the committed coverage baseline — elision never
+# moves a record point, so the site x k-th-hit task matrix is unchanged
+# (see "Flush avoidance" in DESIGN.md).
+bench-flushavoid:
+	$(GO) run ./cmd/benchrunner -substrate -threads 1,2,8 -substrate-ops 300000 \
+		-check-flushavoid -out bench_flushavoid.json
+	@cat bench_flushavoid.json
+	$(GO) run ./cmd/crashtest -sweep -structure all -depth 1 -seed 1 -flush-avoid \
 		-budget 120s -compare crash_coverage.json
 
 # bench-recovery is the recovery-latency smoke: small sizes, one trial,
@@ -92,6 +107,7 @@ ci:
 	$(MAKE) bench-alloc
 	$(MAKE) bench-recovery
 	$(MAKE) bench-batching
+	$(MAKE) bench-flushavoid
 	$(MAKE) bench-workloads
 	$(MAKE) kvstore-smoke
 	$(MAKE) telemetry-smoke

@@ -27,6 +27,8 @@ func main() {
 		allocOnly  = flag.Bool("alloc", false, "measure only the allocator churn points (free-stack vs bitmap-scan)")
 		subOps     = flag.Int("substrate-ops", 0, "operations per substrate data point (0: default)")
 		batchOps   = flag.Int("batch-ops", 0, "ambient write-combining policy, ops per group sync: adds mode:\"batched\" substrate points, applies to figure runs (0: off)")
+		checkFA    = flag.Bool("check-flushavoid", false, "with -substrate, fail unless the mode:\"flushavoid\" points show >= 30% executed pwbs/op reduction vs mode:\"fast\" on the tracking-hash update mix")
+		flushAvoid = flag.Bool("flush-avoid", false, "run figure experiments with pool-wide flush avoidance enabled")
 		recMode    = flag.Bool("recovery", false, "measure post-crash recovery latency instead of a figure")
 		recSizes   = flag.String("recovery-sizes", "4096,32768", "comma-separated structure sizes for -recovery")
 		recWorkers = flag.String("recovery-workers", "1,2,4,8", "comma-separated engine worker counts for -recovery")
@@ -65,6 +67,12 @@ func main() {
 			rep = bench.AllocChurnReport(ths, *subOps)
 		} else {
 			rep = bench.SubstrateBatch(ths, *subOps, *batchOps)
+		}
+		if *checkFA {
+			if err := bench.CheckFlushAvoid(rep); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -182,7 +190,8 @@ func main() {
 			"       benchrunner -workloads [-seed 1] [-workload-ops 12000] [-out BENCH_workloads.json]")
 		os.Exit(2)
 	}
-	opts := bench.Options{Threads: ths, Duration: *duration, Seed: *seed, BatchOps: *batchOps}
+	opts := bench.Options{Threads: ths, Duration: *duration, Seed: *seed,
+		BatchOps: *batchOps, FlushAvoid: *flushAvoid}
 
 	var reg *telemetry.Registry
 	if *teleOut != "" {

@@ -57,7 +57,7 @@ func TestValidateRecoveryJSONRejectsDrift(t *testing.T) {
 		"unknown field": strings.Replace(good, `"threads"`, `"bogus": 1, "threads"`, 1),
 		"total drift":   strings.Replace(good, `"total_ns": 6`, `"total_ns": 7`, 1),
 		"bad workers":   strings.Replace(good, `"workers": 2,`, `"workers": 0,`, 1),
-		"no points":     strings.Replace(good, `"points": [{"structure": "rmm", "size": 64, "workers": 2,
+		"no points": strings.Replace(good, `"points": [{"structure": "rmm", "size": 64, "workers": 2,
 			"attach_ns": 1, "gc_mark_ns": 2, "replay_ns": 0, "verify_ns": 3,
 			"total_ns": 6, "wall_ns": 9}]`, `"points": []`, 1),
 	}

@@ -23,11 +23,15 @@ package bench
 //     quantified in both instructions and nanoseconds.
 
 import (
+	"fmt"
+	"math/rand"
+	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/pmem"
 	"repro/internal/redolog"
+	"repro/internal/rhash"
 	"repro/internal/romulus"
 	"repro/internal/rqueue"
 	"repro/internal/rstack"
@@ -37,14 +41,19 @@ import (
 // concurrency level.
 type SubstratePoint struct {
 	Op         string  `json:"op"`
-	Mode       string  `json:"mode"` // "fast", "strict", or "batched"
+	Mode       string  `json:"mode"` // "fast", "strict", "batched", or "flushavoid"
 	Goroutines int     `json:"goroutines"`
 	NsPerOp    float64 `json:"ns_per_op"`
 	// PWBsPerOp and PSyncsPerOp are the *executed* persistence charges per
-	// operation (recorded pwbs minus write-combining merges; syncs that
-	// actually ran). Omitted when the operation issues none.
+	// operation (recorded pwbs minus write-combining merges and minus
+	// flush-avoidance elisions; syncs that actually ran). Omitted when the
+	// operation issues none.
 	PWBsPerOp   float64 `json:"pwbs_per_op,omitempty"`
 	PSyncsPerOp float64 `json:"psyncs_per_op,omitempty"`
+	// PWBsElidedPerOp counts the recorded write-backs flush avoidance
+	// skipped per operation (dirty-tag first-observer dedup plus memo
+	// hits). Nonzero only for mode:"flushavoid" points.
+	PWBsElidedPerOp float64 `json:"pwbs_elided_per_op,omitempty"`
 }
 
 // SubstrateReport is the full substrate measurement, as serialized into
@@ -167,6 +176,7 @@ func SubstrateBatch(goroutines []int, opsPerPoint, batchOps int) SubstrateReport
 		}
 	}
 	rep.Points = append(rep.Points, commitPathPoints(opsPerPoint, batchOps)...)
+	rep.Points = append(rep.Points, flushAvoidPoints(goroutines, opsPerPoint)...)
 	rep.Points = append(rep.Points, allocChurnPoints(goroutines, opsPerPoint)...)
 	return rep
 }
@@ -228,12 +238,13 @@ func runSubstrateOp(op substrateOp, g, total, batchOps int) SubstratePoint {
 }
 
 // statPoint folds a stats delta into a SubstratePoint, reporting executed
-// (post-merge) persistence charges per operation.
+// (post-merge, post-elision) persistence charges per operation.
 func statPoint(name, mode string, g int, ns float64, st pmem.Stats, total int) SubstratePoint {
 	return SubstratePoint{
 		Op: name, Mode: mode, Goroutines: g, NsPerOp: ns,
-		PWBsPerOp:   float64(st.PWBs-st.PWBsMerged) / float64(total),
-		PSyncsPerOp: float64(st.PSyncs) / float64(total),
+		PWBsPerOp:       float64(st.PWBs-st.PWBsMerged-st.PWBsElided) / float64(total),
+		PSyncsPerOp:     float64(st.PSyncs) / float64(total),
+		PWBsElidedPerOp: float64(st.PWBsElided) / float64(total),
 	}
 }
 
@@ -299,6 +310,113 @@ func measureCommitPath(name string, total, batchOps int,
 		mode = "batched"
 	}
 	return statPoint(name, mode, 1, ns, p.Snapshot().Sub(base), total)
+}
+
+// Flush-avoidance points: the contended tracking-hash update mix the
+// tentpole targets, measured with the feature off ("fast") and on
+// ("flushavoid") across the goroutine sweep. The mix is the paper's
+// update-intensive split (30% find, the rest even insert/delete) over a
+// small key range on a narrow map, so threads collide on buckets and the
+// tracking engine's helper, backtrack and repeated same-line persists —
+// exactly the flushes link-and-persist tagging and the per-thread memo
+// elide — dominate. BENCH_pmem.json pins the win as executed pwbs per
+// operation: mode:"flushavoid" must sit well below mode:"fast" at equal
+// goroutine counts (the PR gate asks for >= 30% at the contended points).
+const (
+	faHashBuckets  = 8
+	faHashKeyRange = 64
+	faHashFindPct  = 30
+)
+
+func flushAvoidPoints(goroutines []int, opsPerPoint int) []SubstratePoint {
+	n := commitPathOps(opsPerPoint)
+	var pts []SubstratePoint
+	for _, fa := range []bool{false, true} {
+		for _, g := range goroutines {
+			pts = append(pts, runTrackingHashPoint(g, n, fa))
+		}
+	}
+	return pts
+}
+
+// runTrackingHashPoint times total update-mix operations over a tracking
+// hash map at g goroutines, with or without flush avoidance.
+func runTrackingHashPoint(g, total int, flushAvoid bool) SubstratePoint {
+	p := pmem.New(pmem.Config{Mode: pmem.ModeFast, CapacityWords: 1 << 21, MaxThreads: g + 1})
+	if flushAvoid {
+		p.SetFlushAvoid(true)
+	}
+	m := rhash.New(p, faHashBuckets, g+1, 0)
+	per := total / g
+	base := p.Snapshot()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 0; t < g; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			h := m.Handle(p.NewThread(t + 1))
+			rng := rand.New(rand.NewSource(int64(0x9e37*t + 1)))
+			n := per
+			if t == 0 {
+				n += total - per*g
+			}
+			for i := 0; i < n; i++ {
+				key := rng.Int63n(faHashKeyRange) + 1
+				switch {
+				case rng.Intn(100) < faHashFindPct:
+					h.Find(key)
+				case rng.Intn(2) == 0:
+					h.Insert(key)
+				default:
+					h.Delete(key)
+				}
+				runtime.Gosched()
+			}
+		}(t)
+	}
+	wg.Wait()
+	ns := float64(time.Since(start).Nanoseconds()) / float64(total)
+	mode := "fast"
+	if flushAvoid {
+		mode = "flushavoid"
+	}
+	return statPoint("tracking-hash-update", mode, g, ns, p.Snapshot().Sub(base), total)
+}
+
+// CheckFlushAvoid validates the flush-avoidance gate on a substrate
+// report: every tracking-hash-update goroutine count measured both ways
+// must show mode:"flushavoid" executing at most 70% of the mode:"fast"
+// pwbs per operation (the >= 30% reduction the optimization promises).
+// Returns an error naming the first failing point, or an error if the
+// report contains no comparable pair.
+func CheckFlushAvoid(rep SubstrateReport) error {
+	fast := map[int]float64{}
+	for _, pt := range rep.Points {
+		if pt.Op == "tracking-hash-update" && pt.Mode == "fast" {
+			fast[pt.Goroutines] = pt.PWBsPerOp
+		}
+	}
+	pairs := 0
+	for _, pt := range rep.Points {
+		if pt.Op != "tracking-hash-update" || pt.Mode != "flushavoid" {
+			continue
+		}
+		base, ok := fast[pt.Goroutines]
+		if !ok || base == 0 {
+			continue
+		}
+		pairs++
+		if red := 1 - pt.PWBsPerOp/base; red < 0.30 {
+			return fmt.Errorf(
+				"flush avoidance gate: tracking-hash-update g=%d executed pwbs/op %.3f vs fast %.3f (%.1f%% reduction, need >= 30%%)",
+				pt.Goroutines, pt.PWBsPerOp, base, 100*red)
+		}
+	}
+	if pairs == 0 {
+		return fmt.Errorf("flush avoidance gate: no fast/flushavoid tracking-hash-update pair in report")
+	}
+	return nil
 }
 
 // commitKeys keeps the commit-path structures small and the op mix an

@@ -46,7 +46,7 @@ func TestPreparePreloadOccupancy(t *testing.T) {
 	for _, algo := range []Algo{AlgoTracking, AlgoTrackingMap} {
 		r, err := Prepare(Config{
 			Algo: algo, Threads: 1, Seed: 3,
-			Workload: Workload{KeyRange: 100, Preload: 50, FindPct: 100},
+			Workload:  Workload{KeyRange: 100, Preload: 50, FindPct: 100},
 			PoolWords: 1 << 16,
 		})
 		if err != nil {

@@ -269,6 +269,7 @@ func init() {
 		}),
 		Scripted: map[string]func(pool *pmem.Pool, p *Provoker) error{
 			"rlist/pwb-info-backtrack": provokeListBacktrack,
+			"rlist/pwb-info-observed":  provokeListFirstObserver,
 		},
 	})
 
@@ -309,6 +310,7 @@ func init() {
 		}),
 		Scripted: map[string]func(pool *pmem.Pool, p *Provoker) error{
 			"rbst/pwb-info-backtrack": provokeBSTBacktrack,
+			"rbst/pwb-info-observed":  provokeBSTFirstObserver,
 		},
 	})
 
@@ -356,6 +358,7 @@ func init() {
 		}),
 		Scripted: map[string]func(pool *pmem.Pool, p *Provoker) error{
 			"rhash/pwb-info-backtrack": provokeHashBacktrack,
+			"rhash/pwb-info-observed":  provokeHashFirstObserver,
 		},
 	})
 
@@ -393,6 +396,9 @@ func init() {
 				return chaos.CheckQueueSequential(res.Logs[0], rqueue.Empty)
 			}
 			return nil
+		},
+		Scripted: map[string]func(pool *pmem.Pool, p *Provoker) error{
+			"rqueue/pwb-info-observed": provokeQueueFirstObserver,
 		},
 		Unreachable: map[string]string{
 			"rqueue/pwb-info-backtrack": "every rqueue operation's AffectSet has a single entry, so its tagging loop can never fail at index >= 1",
@@ -433,6 +439,9 @@ func init() {
 				return chaos.CheckStackSequential(res.Logs[0], rstack.Empty)
 			}
 			return nil
+		},
+		Scripted: map[string]func(pool *pmem.Pool, p *Provoker) error{
+			"rstack/pwb-info-observed": provokeStackFirstObserver,
 		},
 		Unreachable: map[string]string{
 			"rstack/pwb-info-backtrack": "every rstack operation's AffectSet has a single entry, so its tagging loop can never fail at index >= 1",

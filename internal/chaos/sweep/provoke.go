@@ -30,6 +30,8 @@ import (
 	"repro/internal/rbst"
 	"repro/internal/rhash"
 	"repro/internal/rlist"
+	"repro/internal/rqueue"
+	"repro/internal/rstack"
 )
 
 // Provoker drives one scripted crash scenario: staging crashes that freeze
@@ -316,4 +318,248 @@ func provokeHashBacktrack(pool *pmem.Pool, p *Provoker) error {
 		return err
 	}
 	return expectKeys(m.Keys(ctx), []int64{3, 6, 8})
+}
+
+// The first-observer sites ("<prefix>/pwb-info-observed") record the
+// link-and-persist fast path of tracking.Help: a helper whose tagging CAS
+// finds the descriptor's own tag already installed re-issues the info
+// word's persist instead of re-tagging (see tracking.Engine.ObservedSite).
+// A solo crash-free run never helps a foreign descriptor, so no profiled
+// single-threaded workload reaches the branch — the scenarios below stage
+// the two-thread race deterministically: thread 1 crashes between its
+// durable tagging CAS and everything after it (the dirty store lands, the
+// owner's flush never follows), then thread 2's operation observes the
+// frozen tag, helps, and executes the first-observer persist, where the
+// sweep's target crash is armed.
+
+// provokeListFirstObserver scripts the first-observer scenario on rlist.
+// With keys {10, 20, 30}: thread 1's Delete(20) is crashed at its first
+// tagging persist, leaving node10 durably tagged; thread 2's Find(10)
+// observes the tag and helps, re-persisting node10's info word.
+func provokeListFirstObserver(pool *pmem.Pool, p *Provoker) error {
+	l, err := rlist.Attach(pool, 0)
+	if err != nil {
+		return err
+	}
+	boot := l.Handle(pool.NewThread(0))
+	for _, k := range []int64{10, 20, 30} {
+		boot.Invoke()
+		boot.Insert(k)
+	}
+	if err := p.Stage("rlist/pwb-info-tag", 1, func() error {
+		l, err := rlist.Attach(pool, 0)
+		if err != nil {
+			return err
+		}
+		l.Handle(pool.NewThread(1)).Delete(20)
+		return nil
+	}); err != nil {
+		return err
+	}
+	var resFind bool
+	if err := p.Target(func() error {
+		l, err := rlist.Attach(pool, 0)
+		if err != nil {
+			return err
+		}
+		resFind = l.Handle(pool.NewThread(2)).Find(10)
+		return nil
+	}); err != nil {
+		return err
+	}
+	l, err = rlist.Attach(pool, 0)
+	if err != nil {
+		return err
+	}
+	resDel := l.Handle(pool.NewThread(1)).RecoverDelete(20)
+	if !resFind || !resDel {
+		return fmt.Errorf("sweep: find=%v delete=%v, want both true", resFind, resDel)
+	}
+	ctx := pool.NewThread(0)
+	if err := l.CheckInvariants(ctx, true); err != nil {
+		return err
+	}
+	return expectKeys(l.Keys(ctx), []int64{10, 30})
+}
+
+// provokeBSTFirstObserver scripts the first-observer scenario on rbst.
+// With keys {10, 20} (root -> I1(Inf1) -> I2(20) -> {leaf10, leaf20}):
+// thread 1's Delete(10) is crashed at its first tagging persist, leaving
+// gp = I1 durably tagged; thread 2's Delete(20) reaches leaf20 with the
+// same grandparent, observes the tag and helps, re-persisting I1's info.
+func provokeBSTFirstObserver(pool *pmem.Pool, p *Provoker) error {
+	tr, err := rbst.Attach(pool, 0)
+	if err != nil {
+		return err
+	}
+	boot := tr.Handle(pool.NewThread(0))
+	for _, k := range []int64{10, 20} {
+		boot.Invoke()
+		boot.Insert(k)
+	}
+	if err := p.Stage("rbst/pwb-info-tag", 1, func() error {
+		tr, err := rbst.Attach(pool, 0)
+		if err != nil {
+			return err
+		}
+		tr.Handle(pool.NewThread(1)).Delete(10)
+		return nil
+	}); err != nil {
+		return err
+	}
+	var resB bool
+	if err := p.Target(func() error {
+		tr, err := rbst.Attach(pool, 0)
+		if err != nil {
+			return err
+		}
+		resB = tr.Handle(pool.NewThread(2)).Delete(20)
+		return nil
+	}); err != nil {
+		return err
+	}
+	tr, err = rbst.Attach(pool, 0)
+	if err != nil {
+		return err
+	}
+	resA := tr.Handle(pool.NewThread(1)).RecoverDelete(10)
+	if !resA || !resB {
+		return fmt.Errorf("sweep: delete(10)=%v delete(20)=%v, want both true", resA, resB)
+	}
+	ctx := pool.NewThread(0)
+	if err := tr.CheckInvariants(ctx, true); err != nil {
+		return err
+	}
+	return expectKeys(tr.Keys(ctx), nil)
+}
+
+// provokeHashFirstObserver scripts the first-observer scenario on rhash:
+// the rlist dance inside bucket 0 of the adapter's 4-bucket map, with keys
+// {3, 5, 8}: Delete(5) tags node3 and crashes; Find(3) observes and helps.
+func provokeHashFirstObserver(pool *pmem.Pool, p *Provoker) error {
+	m, err := rhash.Attach(pool, 0)
+	if err != nil {
+		return err
+	}
+	boot := m.Handle(pool.NewThread(0))
+	for _, k := range []int64{3, 5, 8} {
+		boot.Invoke()
+		boot.Insert(k)
+	}
+	if err := p.Stage("rhash/pwb-info-tag", 1, func() error {
+		m, err := rhash.Attach(pool, 0)
+		if err != nil {
+			return err
+		}
+		m.Handle(pool.NewThread(1)).Delete(5)
+		return nil
+	}); err != nil {
+		return err
+	}
+	var resFind bool
+	if err := p.Target(func() error {
+		m, err := rhash.Attach(pool, 0)
+		if err != nil {
+			return err
+		}
+		resFind = m.Handle(pool.NewThread(2)).Find(3)
+		return nil
+	}); err != nil {
+		return err
+	}
+	m, err = rhash.Attach(pool, 0)
+	if err != nil {
+		return err
+	}
+	resDel := m.Handle(pool.NewThread(1)).RecoverDelete(5)
+	if !resFind || !resDel {
+		return fmt.Errorf("sweep: find=%v delete=%v, want both true", resFind, resDel)
+	}
+	ctx := pool.NewThread(0)
+	if err := m.CheckInvariants(ctx, true); err != nil {
+		return err
+	}
+	return expectKeys(m.Keys(ctx), []int64{3, 8})
+}
+
+// provokeQueueFirstObserver scripts the first-observer scenario on rqueue:
+// thread 1's Enqueue(100) is crashed at its tagging persist, leaving the
+// sentinel durably tagged; thread 2's Enqueue(200) observes the tag at its
+// own last-node read and helps, re-persisting the sentinel's info word.
+func provokeQueueFirstObserver(pool *pmem.Pool, p *Provoker) error {
+	if err := p.Stage("rqueue/pwb-info-tag", 1, func() error {
+		q, err := rqueue.Attach(pool, 0)
+		if err != nil {
+			return err
+		}
+		q.Handle(pool.NewThread(1)).Enqueue(100)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := p.Target(func() error {
+		q, err := rqueue.Attach(pool, 0)
+		if err != nil {
+			return err
+		}
+		q.Handle(pool.NewThread(2)).Enqueue(200)
+		return nil
+	}); err != nil {
+		return err
+	}
+	q, err := rqueue.Attach(pool, 0)
+	if err != nil {
+		return err
+	}
+	q.Handle(pool.NewThread(1)).RecoverEnqueue(100)
+	ctx := pool.NewThread(0)
+	if err := q.CheckInvariants(ctx, true); err != nil {
+		return err
+	}
+	got := q.Drain(ctx)
+	if len(got) != 2 || got[0] != 100 || got[1] != 200 {
+		return fmt.Errorf("sweep: final queue %v, want [100 200]", got)
+	}
+	return nil
+}
+
+// provokeStackFirstObserver scripts the first-observer scenario on rstack:
+// thread 1's Push(100) is crashed at its tagging persist, leaving the
+// sentinel durably tagged; thread 2's Push(200) observes the tag at its
+// own top read and helps, re-persisting the sentinel's info word.
+func provokeStackFirstObserver(pool *pmem.Pool, p *Provoker) error {
+	if err := p.Stage("rstack/pwb-info-tag", 1, func() error {
+		s, err := rstack.Attach(pool, 0)
+		if err != nil {
+			return err
+		}
+		s.Handle(pool.NewThread(1)).Push(100)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := p.Target(func() error {
+		s, err := rstack.Attach(pool, 0)
+		if err != nil {
+			return err
+		}
+		s.Handle(pool.NewThread(2)).Push(200)
+		return nil
+	}); err != nil {
+		return err
+	}
+	s, err := rstack.Attach(pool, 0)
+	if err != nil {
+		return err
+	}
+	s.Handle(pool.NewThread(1)).RecoverPush(100)
+	ctx := pool.NewThread(0)
+	if err := s.CheckInvariants(ctx, true); err != nil {
+		return err
+	}
+	got := s.Snapshot(ctx)
+	if len(got) != 2 || got[0] != 200 || got[1] != 100 {
+		return fmt.Errorf("sweep: final stack %v, want [200 100]", got)
+	}
+	return nil
 }

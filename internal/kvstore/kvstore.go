@@ -165,6 +165,12 @@ type Store struct {
 	siteVal  pmem.Site
 	siteSlot pmem.Site
 	siteTTL  pmem.Site
+	// siteSlotObs records first-observer flushes of slot words: slots are
+	// link-and-persist words (see internal/pmem/flushavoid.go), so a probe
+	// that reads one still dirty-marked persists it on behalf of the
+	// publisher. Recorded only in fast mode with flush avoidance on — the
+	// writer's own PWBFirst almost always wins the first-observer race.
+	siteSlotObs pmem.Site
 
 	puts, gets, deletes, casOps, evictions atomic.Uint64
 
@@ -175,6 +181,7 @@ func (s *Store) registerSites() {
 	s.siteVal = s.pool.RegisterSite(sitePrefix + "/pwb-val")
 	s.siteSlot = s.pool.RegisterSite(sitePrefix + "/pwb-slot")
 	s.siteTTL = s.pool.RegisterSite(sitePrefix + "/pwb-ttl")
+	s.siteSlotObs = s.pool.RegisterSite(sitePrefix + "/pwb-slot-observed")
 }
 
 // New builds a store in pool and commits it through cfg.RootSlot. Every
@@ -330,7 +337,10 @@ func (h *Handle) probe(sh *shard, key int64) (pos int, block pmem.Addr, free int
 	free = -1
 	for i := 0; i < s.slotCap; i++ {
 		j := (base + i) & (s.slotCap - 1)
-		v := h.ctx.Load(s.slotAddr(sh, j))
+		// Slots are link-and-persist words: the masked read is required
+		// (a dirty-marked empty slot must still switch as slotEmpty), and
+		// catching one dirty makes this probe its first observer.
+		v := h.ctx.LoadAndPersist(s.siteSlotObs, s.slotAddr(sh, j))
 		switch v {
 		case slotEmpty:
 			if free < 0 {
@@ -368,19 +378,21 @@ func (h *Handle) newBlock(si int, key int64, ttl, val uint64) (pmem.Addr, error)
 	return b, nil
 }
 
-// publish commits block into slot j with one persisted store.
+// publish commits block into slot j with one persisted store. The slot is
+// written through the link-and-persist discipline: under flush avoidance a
+// concurrent probe that reads it before the PWBFirst persists it instead.
 func (h *Handle) publish(sh *shard, j int, block pmem.Addr) {
 	w := h.s.slotAddr(sh, j)
-	h.ctx.Store(w, uint64(block))
-	h.ctx.PWB(h.s.siteSlot, w)
+	h.ctx.StoreDirty(w, uint64(block))
+	h.ctx.PWBFirst(h.s.siteSlot, w)
 	h.ctx.PSync()
 }
 
 // tombstone durably retires slot j.
 func (h *Handle) tombstone(sh *shard, j int) {
 	w := h.s.slotAddr(sh, j)
-	h.ctx.Store(w, slotTombstone)
-	h.ctx.PWB(h.s.siteSlot, w)
+	h.ctx.StoreDirty(w, slotTombstone)
+	h.ctx.PWBFirst(h.s.siteSlot, w)
 	h.ctx.PSync()
 }
 
@@ -522,7 +534,7 @@ func (h *Handle) EvictExpired(now uint64) (int, error) {
 		sh := s.shards[si]
 		s.lock(h.ctx, sh)
 		for j := 0; j < s.slotCap; j++ {
-			v := h.ctx.Load(s.slotAddr(sh, j))
+			v := h.ctx.LoadAndPersist(s.siteSlotObs, s.slotAddr(sh, j))
 			if v == slotEmpty || v == slotTombstone {
 				continue
 			}
@@ -577,7 +589,7 @@ func (s *Store) ShardLiveSlots(ctx *pmem.ThreadCtx, si int) int {
 	sh := s.shards[si]
 	live := 0
 	for j := 0; j < s.slotCap; j++ {
-		if v := ctx.Load(s.slotAddr(sh, j)); v != slotEmpty && v != slotTombstone {
+		if v := ctx.LoadAndPersist(s.siteSlotObs, s.slotAddr(sh, j)); v != slotEmpty && v != slotTombstone {
 			live++
 		}
 	}
@@ -605,7 +617,7 @@ func (s *Store) CheckInvariants(ctx *pmem.ThreadCtx, quiescent bool) error {
 		seen := make(map[int64]bool)
 		live := 0
 		for j := 0; j < s.slotCap; j++ {
-			v := ctx.Load(s.slotAddr(sh, j))
+			v := ctx.LoadAndPersist(s.siteSlotObs, s.slotAddr(sh, j))
 			if v == slotEmpty || v == slotTombstone {
 				continue
 			}

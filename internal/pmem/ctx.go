@@ -55,6 +55,13 @@ type ThreadCtx struct {
 	autoBatch  BatchConfig
 	autoOpened bool // the open epoch came from the ambient policy
 
+	// Flush-avoidance state, owner-only (see flushavoid.go). faOn is the
+	// generation-cached "pool flush avoidance is on AND the pool is
+	// ModeFast" flag; memo is the direct-mapped recently-flushed-line
+	// cache (entry encoding: line index + 1, zero = empty).
+	faOn bool
+	memo [memoSlots]uint32
+
 	// Counters. The owner updates each with one uncontended atomic add
 	// (its line stays exclusive in the owner's cache); Stats snapshots
 	// read them while the run is in flight, hence the atomics. The pad
@@ -68,6 +75,8 @@ type ThreadCtx struct {
 	pwbsMerged   atomic.Uint64 // of those, duplicates merged (charges eliminated)
 	psyncsMerged atomic.Uint64 // psyncs absorbed into a group sync
 	batchDrains  atomic.Uint64 // write-combining drains executed
+	pwbsElided   atomic.Uint64 // flush-avoidance: charges skipped (clean word / memo hit)
+	pwbsExecuted atomic.Uint64 // ModeFast write-back charges that actually spun
 	_            [64]byte
 }
 
@@ -83,6 +92,7 @@ func (p *Pool) NewThread(tid int) *ThreadCtx {
 	ctx.pwbPerSite = make([]atomic.Uint64, len(p.sites))
 	ctx.sink = p.telemetry
 	ctx.autoBatch = p.batchPolicy
+	ctx.faOn = p.flushAvoid && p.mode == ModeFast
 	p.ctxs = append(p.ctxs, ctx)
 	p.mu.Unlock()
 	return ctx
@@ -227,6 +237,11 @@ func (ctx *ThreadCtx) StoreDurable(s Site, a Addr, v uint64) {
 		}
 	case ModeFast:
 		stall = ctx.chargePWB(wi / LineWords)
+		if ctx.faOn {
+			// The word was stored and flushed as one action: the line is
+			// freshly written back, so memoize it like any executed charge.
+			ctx.memoInsert(wi / LineWords)
+		}
 	}
 	if ctx.siteOn(s) {
 		ctx.countPWB(s)
@@ -307,6 +322,8 @@ func (ctx *ThreadCtx) PWB(s Site, a Addr) {
 		}
 	} else if ctx.batchDepth > 0 || (ctx.autoBatch.Active() && ctx.autoBatchOpen()) {
 		ctx.deferPWB(line)
+	} else if ctx.faOn {
+		stall = ctx.memoCharge(line)
 	} else {
 		stall = ctx.chargePWB(line)
 	}
@@ -341,6 +358,8 @@ func (ctx *ThreadCtx) PWBRange(s Site, a Addr, words int) {
 			}
 		} else if ctx.batchDepth > 0 || (ctx.autoBatch.Active() && ctx.autoBatchOpen()) {
 			ctx.deferPWB(line)
+		} else if ctx.faOn {
+			stall = ctx.memoCharge(line)
 		} else {
 			stall = ctx.chargePWB(line)
 		}
@@ -417,6 +436,7 @@ func (ctx *ThreadCtx) chargePWB(line int) int {
 		heat--
 	}
 	atomic.StoreUint64(&p.lineMeta[line], uint64(heat)<<32|uint64(ctx.tid+1))
+	ctx.pwbsExecuted.Add(1)
 	n := p.cost.PWBBase + heat*p.cost.PWBHeatUnit
 	spin(n)
 	ctx.spun.Add(uint64(n))
@@ -478,6 +498,11 @@ func (ctx *ThreadCtx) PSync() {
 		// write-combining bookkeeping: everything captured is now durable.
 		ctx.drainWC(false)
 	case ModeFast:
+		if ctx.faOn {
+			// The failure-free window closes: later duplicate flushes of a
+			// line must execute again, so the flushed-line memo drops.
+			ctx.memoClear()
+		}
 		spin(p.cost.PSyncCost)
 		ctx.spun.Add(uint64(p.cost.PSyncCost))
 		if ctx.sink != nil {

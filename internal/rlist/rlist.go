@@ -220,13 +220,18 @@ func checkKey(key int64) {
 // access to each (Algorithm 3, lines 35-44).
 func (h *Handle) search(key int64) (pred, curr pmem.Addr, predInfo, currInfo uint64) {
 	c := h.ctx
+	// Info words follow the substrate's link-and-persist discipline: a
+	// traversal that catches one still dirty-marked becomes its first
+	// observer and persists it (recorded at the engine's observed site);
+	// already-durable info words read at plain-load cost.
+	obs := h.list.eng.ObservedSite()
 	curr = h.list.head
-	currInfo = c.Load(curr + offInfo)
+	currInfo = c.LoadAndPersist(obs, curr+offInfo)
 	for keyOf(c.Load(curr+offKey)) < key {
 		pred = curr
 		predInfo = currInfo
 		curr = pmem.Addr(c.Load(curr + offNext))
-		currInfo = c.Load(curr + offInfo)
+		currInfo = c.LoadAndPersist(obs, curr+offInfo)
 	}
 	return pred, curr, predInfo, currInfo
 }

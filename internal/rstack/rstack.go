@@ -150,7 +150,9 @@ func (h *Handle) Push(value uint64) {
 
 	for {
 		top := pmem.Addr(c.Load(h.s.topAddr))
-		topInfo := c.Load(top + offInfo)
+		// First-observer read of a link-and-persist info word (see
+		// tracking.Engine.ObservedSite).
+		topInfo := c.LoadAndPersist(h.s.eng.ObservedSite(), top+offInfo)
 		if tracking.IsTagged(topInfo) {
 			h.th.Help(tracking.DescOf(topInfo))
 			continue
@@ -181,7 +183,7 @@ func (h *Handle) Pop() (value uint64, ok bool) {
 
 	for {
 		top := pmem.Addr(c.Load(h.s.topAddr))
-		topInfo := c.Load(top + offInfo)
+		topInfo := c.LoadAndPersist(h.s.eng.ObservedSite(), top+offInfo)
 		if tracking.IsTagged(topInfo) {
 			h.th.Help(tracking.DescOf(topInfo))
 			continue

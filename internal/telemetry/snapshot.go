@@ -257,8 +257,10 @@ func (s Snapshot) FormatTrace(n int) []string {
 // ValidateSnapshotJSON checks that data is a well-formed telemetry
 // snapshot: current schema tag, no unknown fields, internally consistent
 // histograms (ascending non-empty buckets summing to the count, ordered
-// quantiles) and monotone trace sequence numbers. This is the contract the
-// telemetry-smoke CI gate enforces on benchrunner output.
+// quantiles), monotone trace sequence numbers, and consistent
+// flush-avoidance gauges (elision counts only with the feature on). This
+// is the contract the telemetry-smoke CI gate enforces on benchrunner
+// output.
 func ValidateSnapshotJSON(data []byte) error {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
@@ -307,12 +309,28 @@ func ValidateSnapshotJSON(data []byte) error {
 				h.Op, h.P50Ns, h.P90Ns, h.P99Ns, h.P99_9Ns)
 		}
 	}
+	gauge := map[string]uint64{}
 	for i, g := range s.Gauges {
 		if g.Name == "" {
 			return fmt.Errorf("telemetry: gauge entry with empty name")
 		}
 		if i > 0 && g.Name <= s.Gauges[i-1].Name {
 			return fmt.Errorf("telemetry: gauges not sorted by unique name at index %d", i)
+		}
+		gauge[g.Name] = g.Value
+	}
+	// Flush-avoidance accounting: elision (and the dirty-tag machinery
+	// that produces it) exists only with the feature on, so an elision
+	// count in a feature-off snapshot means the counters are corrupt or
+	// the harness mislabeled the run.
+	if gauge["pmem-pwbs-elided"] > 0 && gauge["pmem-flush-avoid"] == 0 {
+		return fmt.Errorf("telemetry: pmem-pwbs-elided = %d with flush avoidance off (pmem-flush-avoid = 0)",
+			gauge["pmem-pwbs-elided"])
+	}
+	if rec, ok := gauge["pmem-pwbs-recorded"]; ok {
+		if spent := gauge["pmem-pwbs-merged"] + gauge["pmem-pwbs-elided"]; spent > rec {
+			return fmt.Errorf("telemetry: pmem-pwbs-merged + pmem-pwbs-elided = %d exceed pmem-pwbs-recorded = %d",
+				spent, rec)
 		}
 	}
 	for i := 1; i < len(s.Events); i++ {

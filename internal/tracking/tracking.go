@@ -22,8 +22,11 @@ func Untagged(d pmem.Addr) uint64 { return uint64(d) &^ 1 }
 // IsTagged reports whether an info-field value is tagged.
 func IsTagged(v uint64) bool { return v&1 == 1 }
 
-// DescOf extracts the descriptor address from an info-field value.
-func DescOf(v uint64) pmem.Addr { return pmem.Addr(v &^ 1) }
+// DescOf extracts the descriptor address from an info-field value. Both
+// low bits are masked: bit 0 is the tag, and bit 1 may transiently carry
+// the substrate's link-and-persist dirty marker (pmem.DirtyBit) on an
+// info word read outside the dirty-discipline accessors.
+func DescOf(v uint64) pmem.Addr { return pmem.Addr(v &^ 3) }
 
 // AffectEntry is one element of an operation's AffectSet.
 type AffectEntry struct {
@@ -92,20 +95,34 @@ type engineSites struct {
 	update  pmem.Site // pwb(updated field) (line 51)
 	result  pmem.Site // pwb(opInfo→result) (line 53)
 	cleanup pmem.Site // pwb(nd→info) in the cleanup phase (line 57)
+	// observed is the first-observer flush of an info word some other
+	// helper already tagged (Help finds res == tag) or a traversal read
+	// encounters still dirty: the link-and-persist discipline moves the
+	// write-back of a not-yet-durable info word to whoever sees it first.
+	// Never recorded in crash-free solo runs (no helping happens), which
+	// keeps the other sites' strict profiles unchanged.
+	observed pmem.Site
 }
 
 func registerSites(pool *pmem.Pool, prefix string) engineSites {
 	return engineSites{
-		cp:      pool.RegisterSite(prefix + "/pwb-CP"),
-		rd:      pool.RegisterSite(prefix + "/pwb-RD"),
-		publish: pool.RegisterSite(prefix + "/pwb-desc+new"),
-		tag:     pool.RegisterSite(prefix + "/pwb-info-tag"),
-		back:    pool.RegisterSite(prefix + "/pwb-info-backtrack"),
-		update:  pool.RegisterSite(prefix + "/pwb-update-field"),
-		result:  pool.RegisterSite(prefix + "/pwb-result"),
-		cleanup: pool.RegisterSite(prefix + "/pwb-info-cleanup"),
+		cp:       pool.RegisterSite(prefix + "/pwb-CP"),
+		rd:       pool.RegisterSite(prefix + "/pwb-RD"),
+		publish:  pool.RegisterSite(prefix + "/pwb-desc+new"),
+		tag:      pool.RegisterSite(prefix + "/pwb-info-tag"),
+		back:     pool.RegisterSite(prefix + "/pwb-info-backtrack"),
+		update:   pool.RegisterSite(prefix + "/pwb-update-field"),
+		result:   pool.RegisterSite(prefix + "/pwb-result"),
+		cleanup:  pool.RegisterSite(prefix + "/pwb-info-cleanup"),
+		observed: pool.RegisterSite(prefix + "/pwb-info-observed"),
 	}
 }
+
+// ObservedSite returns the engine's first-observer flush site: structures
+// pass it to pmem.LoadAndPersist on their info-word traversal reads, so a
+// read that catches a not-yet-durable info word records its write-back
+// against this code line.
+func (e *Engine) ObservedSite() pmem.Site { return e.sites.observed }
 
 // New creates an Engine with a fresh recovery table for maxThreads threads
 // and persists the table. The caller should store TableAddr in a root slot
@@ -305,12 +322,22 @@ func (t *Thread) Help(d pmem.Addr) {
 	tag, untag := Tagged(d), Untagged(d)
 
 	// Tagging phase: install the tagged descriptor in every AffectSet
-	// node, in order.
+	// node, in order. Info words follow the link-and-persist discipline:
+	// the CAS installs the value dirty-marked, and the flush that follows
+	// executes only for the word's first observer. A helper that finds the
+	// tag already installed (res == tag) records its flush at the observed
+	// site — it is re-persisting another helper's write, the exact
+	// redundant pwb the flush-avoidance machinery elides.
 	for i := 0; i < nA; i++ {
 		field, observed, _ := t.affectEntry(d, i)
-		res, _ := c.CASV(field, observed, tag)
-		c.PWB(s.tag, field)
-		if res != observed && res != tag {
+		res, ok := c.CASDirty(field, observed, tag)
+		switch {
+		case ok:
+			c.PWBFirst(s.tag, field)
+		case res == tag:
+			c.PWBFirst(s.observed, field)
+		default:
+			c.PWBFirst(s.tag, field)
 			// Backtrack phase: untag the already-tagged prefix in
 			// reverse order, then give up this attempt. Because
 			// cleanup also untags in reverse AffectSet order, the
@@ -319,8 +346,8 @@ func (t *Thread) Help(d pmem.Addr) {
 			// interrupted by a crash.
 			for j := i - 1; j >= 0; j-- {
 				pf, _, _ := t.affectEntry(d, j)
-				c.CAS(pf, tag, untag)
-				c.PWB(s.back, pf)
+				c.CASDirty(pf, tag, untag)
+				c.PWBFirst(s.back, pf)
 			}
 			c.PSync()
 			return
@@ -349,16 +376,16 @@ func (t *Thread) Help(d pmem.Addr) {
 	// from the structure keep their tag forever.
 	for i := 0; i < nN; i++ {
 		nf := t.newEntry(d, nA, nW, i)
-		c.CAS(nf, tag, untag)
-		c.PWB(s.cleanup, nf)
+		c.CASDirty(nf, tag, untag)
+		c.PWBFirst(s.cleanup, nf)
 	}
 	for i := nA - 1; i >= 0; i-- {
 		field, _, doUntag := t.affectEntry(d, i)
 		if !doUntag {
 			continue
 		}
-		c.CAS(field, tag, untag)
-		c.PWB(s.cleanup, field)
+		c.CASDirty(field, tag, untag)
+		c.PWBFirst(s.cleanup, field)
 	}
 	c.PSync()
 }
